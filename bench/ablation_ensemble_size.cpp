@@ -1,0 +1,83 @@
+// Ablation (§V-D) — effect of the ensemble size: EPP(b, PLP, PLM) for
+// b = 1, 2, 4, 8 on a subset of the replica suite, plus the base-solution
+// diversity probe (pairwise Jaccard dissimilarity of the PLP base runs)
+// the paper uses to explain when ensembles pay off.
+//
+// Expected shape: quality grows with b on average with strongly
+// instance-dependent gains; running time grows at least proportionally —
+// the basis of the paper's default choice b = 4.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "community/epp.hpp"
+#include "community/plm.hpp"
+#include "community/plp.hpp"
+#include "quality/modularity.hpp"
+#include "quality/partition_similarity.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+using namespace grapr;
+using namespace grapr::bench;
+
+namespace {
+
+DetectorMaker plpMaker() {
+    return [] { return std::unique_ptr<CommunityDetector>(new Plp()); };
+}
+
+DetectorMaker plmMaker() {
+    return [] { return std::unique_ptr<CommunityDetector>(new Plm()); };
+}
+
+} // namespace
+
+int main() {
+    printPlatformBanner("Ablation: EPP ensemble size b = 1, 2, 4, 8");
+
+    const std::vector<std::string> subset = {"PGPgiantcompo", "as-22july06",
+                                             "G_n_pin_pout",
+                                             "coAuthorsCiteseer"};
+    const auto suite = replicaSuite();
+
+    std::printf("%-22s %4s %12s %12s %14s\n", "network", "b", "modularity",
+                "time[s]", "base diversity");
+    for (const auto& spec : suite) {
+        if (std::find(subset.begin(), subset.end(), spec.name) ==
+            subset.end()) {
+            continue;
+        }
+        const Graph g = loadReplica(spec);
+
+        // Base-solution diversity: mean pairwise Jaccard dissimilarity of
+        // four independent PLP runs (the paper's §V-D probe).
+        Random::setSeed(40);
+        std::vector<Partition> bases;
+        for (int i = 0; i < 4; ++i) bases.push_back(Plp().run(g));
+        double dissimilarity = 0.0;
+        int pairs = 0;
+        for (std::size_t i = 0; i < bases.size(); ++i) {
+            for (std::size_t j = i + 1; j < bases.size(); ++j) {
+                dissimilarity += 1.0 - jaccardIndex(bases[i], bases[j]);
+                ++pairs;
+            }
+        }
+        dissimilarity /= pairs;
+
+        for (count b : {1u, 2u, 4u, 8u}) {
+            Random::setSeed(41 + b);
+            Epp epp(b, plpMaker(), plmMaker(), "EPP");
+            Timer timer;
+            const Partition zeta = epp.run(g);
+            const double seconds = timer.elapsed();
+            std::printf("%-22s %4llu %12.4f %12.4f %14.4f\n",
+                        spec.name.c_str(),
+                        static_cast<unsigned long long>(b),
+                        Modularity().getQuality(zeta, g), seconds,
+                        dissimilarity);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4 — EPP(4,PLP,PLM) compared to a single PLP, per network:
+// difference in modularity (above in the paper's chart) and running time
+// ratio (below).
+//
+// Expected shape: EPP gains modularity on most instances, at roughly ~5x
+// the PLP running time on large networks and worse ratios on small ones
+// where ensemble overhead dominates.
+
+#include <cstdio>
+
+#include "baselines/registry.hpp"
+#include "bench_common.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+using namespace grapr::bench;
+
+int main() {
+    printPlatformBanner(
+        "Figure 4: EPP(4,PLP,PLM) vs a single PLP, per network");
+    std::printf("%-22s %12s %12s %12s %12s %10s\n", "network", "q(PLP)",
+                "q(EPP)", "delta q", "t(EPP)/t(PLP)", "t(EPP)[s]");
+
+    const int repetitions = quickMode() ? 1 : 3;
+    for (const auto& spec : replicaSuite()) {
+        const Graph g = loadReplica(spec);
+
+        Random::setSeed(4);
+        auto plp = makeDetector("PLP");
+        const RunResult plpResult = measureDetector(*plp, g, repetitions);
+
+        Random::setSeed(4);
+        auto epp = makeDetector("EPP(4,PLP,PLM)");
+        const RunResult eppResult = measureDetector(*epp, g, repetitions);
+
+        std::printf("%-22s %12.4f %12.4f %+12.4f %12.2f %10.3f\n",
+                    spec.name.c_str(), plpResult.modularity,
+                    eppResult.modularity,
+                    eppResult.modularity - plpResult.modularity,
+                    eppResult.seconds / plpResult.seconds, eppResult.seconds);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 5 — Pareto evaluation: one point per algorithm, x = time score
+// (geometric mean of running-time ratios vs PLM over the test set),
+// y = modularity score (arithmetic mean of absolute modularity differences
+// vs PLM). The paper's condensed comparison.
+//
+// Expected placement: PLP far left (fastest) below zero quality; PLM at
+// (1, 0) by construction; PLMR slightly right and above; EPP variants in
+// the middle; Louvain right of PLM at ~equal quality; RG/CGGC/CGGCi top
+// right (best quality, most expensive); CEL dominated.
+//
+// Scores for RG-family algorithms are computed over the instances they ran
+// on (the expensive-algorithm edge cap skips the largest, as the paper
+// skips non-viable runs); the instance count per algorithm is printed.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/registry.hpp"
+#include "bench_common.hpp"
+
+using namespace grapr;
+using namespace grapr::bench;
+
+int main() {
+    printPlatformBanner("Figure 5: Pareto evaluation (PLM baseline)");
+    const int repetitions = quickMode() ? 1 : 3;
+    const count edgeCap = expensiveAlgorithmEdgeCap();
+
+    const auto suite = replicaSuite();
+    std::vector<Graph> graphs;
+    std::vector<RunResult> plmResults;
+    for (const auto& spec : suite) {
+        graphs.push_back(loadReplica(spec));
+        plmResults.push_back(
+            measureDetectorCached("PLM", spec.name, graphs.back(),
+                                  repetitions));
+    }
+
+    std::printf("%-18s %12s %14s %10s\n", "algorithm", "time score",
+                "quality score", "instances");
+    const std::vector<std::string> algorithms = {
+        "PLP",     "PLM",  "PLMR",  "EPP(4,PLP,PLM)", "EPP(4,PLP,PLMR)",
+        "Louvain", "CLU_TBB", "CEL", "RG", "CGGC", "CGGCi"};
+
+    for (const auto& algorithm : algorithms) {
+        const bool expensive =
+            algorithm == "RG" || algorithm == "CGGC" || algorithm == "CGGCi";
+        double logRatioSum = 0.0;
+        double qualityDiffSum = 0.0;
+        int instances = 0;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            if (expensive && graphs[i].numberOfEdges() > edgeCap) continue;
+            const int reps = expensive ? 1 : repetitions;
+            const RunResult r = measureDetectorCached(
+                algorithm, suite[i].name, graphs[i], reps);
+            logRatioSum += std::log(r.seconds / plmResults[i].seconds);
+            qualityDiffSum += r.modularity - plmResults[i].modularity;
+            ++instances;
+        }
+        const double timeScore = std::exp(logRatioSum / instances);
+        const double qualityScore = qualityDiffSum / instances;
+        std::printf("%-18s %12.4f %+14.4f %10d\n", algorithm.c_str(),
+                    timeScore, qualityScore, instances);
+        std::fflush(stdout);
+    }
+    std::printf("#\n# time score: geometric mean of t(A)/t(PLM); quality\n"
+                "# score: arithmetic mean of q(A)-q(PLM) (paper uses absolute\n"
+                "# modularity differences with sign preserved in the chart).\n");
+    return 0;
+}

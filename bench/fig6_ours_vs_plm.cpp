@@ -1,0 +1,57 @@
+// Figure 6 (a-e) — performance of our algorithms with PLM as the baseline,
+// broken down by network: (a) PLM absolute quality and time, then each of
+// PLP, PLMR, EPP(4,PLP,PLM), EPP(4,PLP,PLMR) as modularity difference and
+// time ratio relative to PLM.
+//
+// Expected shapes (paper §V-A..D): PLP solves instances in 10-20% of PLM's
+// time at a significant modularity loss; PLMR adds a little time and gains
+// modularity; the EPP variants sit between PLP and PLM on both axes.
+
+#include <cstdio>
+
+#include "baselines/registry.hpp"
+#include "bench_common.hpp"
+
+using namespace grapr;
+using namespace grapr::bench;
+
+int main() {
+    printPlatformBanner("Figure 6: our algorithms relative to PLM");
+    const int repetitions = quickMode() ? 1 : 3;
+
+    // (a) the baseline itself.
+    std::printf("--- (a) PLM baseline ---\n");
+    std::printf("%-22s %12s %12s %12s\n", "network", "modularity", "time[s]",
+                "#communities");
+    std::vector<RunResult> plmResults;
+    const auto suite = replicaSuite();
+    for (const auto& spec : suite) {
+        const Graph g = loadReplica(spec);
+        const RunResult r =
+            measureDetectorCached("PLM", spec.name, g, repetitions);
+        plmResults.push_back(r);
+        std::printf("%-22s %12.4f %12.4f %12llu\n", spec.name.c_str(),
+                    r.modularity, r.seconds,
+                    static_cast<unsigned long long>(r.communities));
+        std::fflush(stdout);
+    }
+
+    const char* panels[] = {"PLP", "PLMR", "EPP(4,PLP,PLM)",
+                            "EPP(4,PLP,PLMR)"};
+    const char* labels[] = {"(b)", "(c)", "(d)", "(e)"};
+    for (int panel = 0; panel < 4; ++panel) {
+        std::printf("--- %s %s relative to PLM ---\n", labels[panel],
+                    panels[panel]);
+        std::printf("%-22s %12s %12s\n", "network", "delta q", "time ratio");
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const Graph g = loadReplica(suite[i]);
+            const RunResult r = measureDetectorCached(
+                panels[panel], suite[i].name, g, repetitions);
+            std::printf("%-22s %+12.4f %12.3f\n", suite[i].name.c_str(),
+                        r.modularity - plmResults[i].modularity,
+                        r.seconds / plmResults[i].seconds);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+// Micro benchmarks (google-benchmark) for the community detection inner
+// loops: one PLP sweep, one PLM move phase, the hash combiner, and the
+// modularity evaluation — the paper's "Δmod computation must be very fast"
+// engineering target made measurable.
+
+#include <benchmark/benchmark.h>
+
+#include "community/combiner.hpp"
+#include "community/plm.hpp"
+#include "community/plp.hpp"
+#include "generators/rmat.hpp"
+#include "quality/modularity.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+namespace {
+
+const Graph& testGraph() {
+    static const Graph g = [] {
+        Random::setSeed(2000);
+        return RmatGenerator(15, 8).generate();
+    }();
+    return g;
+}
+
+} // namespace
+
+static void BM_PlpFullRun(benchmark::State& state) {
+    const Graph& g = testGraph();
+    for (auto _ : state) {
+        Random::setSeed(2001);
+        Plp plp;
+        Partition zeta = plp.run(g);
+        benchmark::DoNotOptimize(zeta.numberOfElements());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.numberOfEdges()));
+}
+BENCHMARK(BM_PlpFullRun);
+
+static void BM_PlmMovePhaseOneSweep(benchmark::State& state) {
+    const Graph& g = testGraph();
+    for (auto _ : state) {
+        Random::setSeed(2002);
+        Partition zeta(g.upperNodeIdBound());
+        zeta.allToSingletons();
+        const count moves = Plm::movePhase(g, zeta, 1.0, 1, nullptr);
+        benchmark::DoNotOptimize(moves);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.numberOfNodes()));
+}
+BENCHMARK(BM_PlmMovePhaseOneSweep);
+
+static void BM_PlmFullRun(benchmark::State& state) {
+    const Graph& g = testGraph();
+    for (auto _ : state) {
+        Random::setSeed(2003);
+        Plm plm;
+        Partition zeta = plm.run(g);
+        benchmark::DoNotOptimize(zeta.numberOfElements());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.numberOfEdges()));
+}
+BENCHMARK(BM_PlmFullRun);
+
+static void BM_HashCombiner(benchmark::State& state) {
+    const count n = 1 << 18;
+    const int b = static_cast<int>(state.range(0));
+    Random::setSeed(2004);
+    std::vector<Partition> bases;
+    for (int i = 0; i < b; ++i) {
+        Partition p(n);
+        for (node v = 0; v < n; ++v) {
+            p.set(v, static_cast<node>(Random::integer(5000)));
+        }
+        p.setUpperBound(5000);
+        bases.push_back(std::move(p));
+    }
+    for (auto _ : state) {
+        Partition cores = HashingCombiner::combine(bases);
+        benchmark::DoNotOptimize(cores.upperBound());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n) * b);
+}
+BENCHMARK(BM_HashCombiner)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_ModularityEvaluation(benchmark::State& state) {
+    const Graph& g = testGraph();
+    Random::setSeed(2005);
+    Plp plp;
+    const Partition zeta = plp.run(g);
+    const Modularity modularity;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(modularity.getQuality(zeta, g));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(g.numberOfEdges()));
+}
+BENCHMARK(BM_ModularityEvaluation);

@@ -1,0 +1,53 @@
+// LFR ground-truth evaluation — how to validate a community detection
+// algorithm the way the paper does in §V-G: generate LFR benchmark graphs
+// of increasing mixing, run detectors, and measure agreement with the
+// planted ground truth by three similarity indices (Jaccard, Rand, NMI).
+// A compact, self-contained version of the Figure-8 experiment that is
+// also the template for evaluating *new* algorithms added to the
+// framework.
+
+#include <cstdio>
+
+#include "grapr.hpp"
+
+using namespace grapr;
+
+int main() {
+    Random::setSeed(21);
+
+    std::printf("LFR evaluation: n=5000, deg 8..50, communities 20..100\n\n");
+    std::printf("%-6s %-8s %10s %10s %10s %12s\n", "mu", "algo", "Jaccard",
+                "Rand", "NMI", "modularity");
+
+    for (double mu : {0.2, 0.5, 0.8}) {
+        LfrParameters params;
+        params.n = 5000;
+        params.minDegree = 8;
+        params.maxDegree = 50;
+        params.minCommunitySize = 20;
+        params.maxCommunitySize = 100;
+        params.mu = mu;
+        LfrGenerator generator(params);
+        const Graph g = generator.generate();
+        const Partition& truth = generator.groundTruth();
+
+        for (const char* name : {"PLP", "PLM"}) {
+            auto detector = makeDetector(name);
+            const Partition zeta = detector->run(g);
+            std::printf("%-6.1f %-8s %10.3f %10.3f %10.3f %12.4f\n", mu,
+                        name, jaccardIndex(zeta, truth),
+                        randIndex(zeta, truth),
+                        normalizedMutualInformation(zeta, truth),
+                        Modularity().getQuality(zeta, g));
+        }
+        // Reference point: the ground truth's own modularity.
+        std::printf("%-6.1f %-8s %10.3f %10.3f %10.3f %12.4f\n\n", mu,
+                    "truth", 1.0, 1.0, 1.0,
+                    Modularity().getQuality(truth, g));
+    }
+
+    std::printf("reading the table: Jaccard/Rand/NMI of 1.0 = exact recovery"
+                "\nof the planted communities; PLM should track the truth to"
+                "\nhigher mu than PLP (the paper's Figure 8).\n");
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# One-command reproduction of the paper's evaluation:
+#   sh scripts/reproduce.sh [build-dir]
+# Builds the project, runs the full test suite, then every benchmark
+# harness (one per paper table/figure, plus ablations and micro benches).
+# Instance and measurement caches land in ./data; outputs in
+# test_output.txt and bench_output.txt.
+set -e
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+(for b in "$BUILD"/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  fi
+done) 2>&1 | tee bench_output.txt

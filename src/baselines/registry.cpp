@@ -1,0 +1,101 @@
+#include "baselines/registry.hpp"
+
+#include "baselines/cggc.hpp"
+#include "baselines/clu_matching.hpp"
+#include "baselines/label_prop_seq.hpp"
+#include "baselines/louvain_seq.hpp"
+#include "baselines/rg.hpp"
+#include "community/epp.hpp"
+#include "community/plm.hpp"
+#include "community/plmr.hpp"
+#include "community/plp.hpp"
+
+namespace grapr {
+
+namespace {
+
+DetectorMaker plpMaker() {
+    return []() -> std::unique_ptr<CommunityDetector> {
+        return std::make_unique<Plp>();
+    };
+}
+
+DetectorMaker plmMaker() {
+    return []() -> std::unique_ptr<CommunityDetector> {
+        return std::make_unique<Plm>();
+    };
+}
+
+DetectorMaker plmrMaker() {
+    return []() -> std::unique_ptr<CommunityDetector> {
+        return std::make_unique<Plmr>();
+    };
+}
+
+} // namespace
+
+std::unique_ptr<CommunityDetector> makeDetector(const std::string& name) {
+    // Generic ensemble spelling "EPP(b,Base,Final)" for arbitrary b and
+    // registered base/final algorithms (the two configurations the paper
+    // evaluates are matched below before this parser runs).
+    if (name != "EPP(4,PLP,PLM)" && name != "EPP(4,PLP,PLMR)" &&
+        name.rfind("EPP(", 0) == 0 && name.back() == ')') {
+        const std::string inner = name.substr(4, name.size() - 5);
+        const auto firstComma = inner.find(',');
+        const auto secondComma = inner.find(',', firstComma + 1);
+        require(firstComma != std::string::npos &&
+                    secondComma != std::string::npos,
+                "makeDetector: EPP spelling is EPP(b,Base,Final)");
+        const count b = std::stoull(inner.substr(0, firstComma));
+        const std::string baseName =
+            inner.substr(firstComma + 1, secondComma - firstComma - 1);
+        const std::string finalName = inner.substr(secondComma + 1);
+        auto makeByName = [](std::string algorithmName) -> DetectorMaker {
+            (void)makeDetector(algorithmName); // validate eagerly: throws
+            return [algorithmName] { return makeDetector(algorithmName); };
+        };
+        return std::make_unique<Epp>(b, makeByName(baseName),
+                                     makeByName(finalName), name);
+    }
+    if (name == "PLP") return std::make_unique<Plp>();
+    if (name == "PLM") return std::make_unique<Plm>();
+    if (name == "PLMR") return std::make_unique<Plmr>();
+    if (name == "EPP(4,PLP,PLM)") {
+        return std::make_unique<Epp>(4, plpMaker(), plmMaker(),
+                                     "EPP(4,PLP,PLM)");
+    }
+    if (name == "EPP(4,PLP,PLMR)") {
+        return std::make_unique<Epp>(4, plpMaker(), plmrMaker(),
+                                     "EPP(4,PLP,PLMR)");
+    }
+    if (name == "Louvain") return std::make_unique<LouvainSeq>();
+    if (name == "LabelPropagation") return std::make_unique<LabelPropSeq>();
+    if (name == "RG") return std::make_unique<RandomizedGreedy>();
+    if (name == "CGGC") return std::make_unique<Cggc>();
+    if (name == "CGGCi") return std::make_unique<CggcIterated>();
+    if (name == "CLU_TBB") {
+        return std::make_unique<MatchingAgglomeration>(
+            /*starAdaptation=*/true);
+    }
+    if (name == "CEL") {
+        return std::make_unique<MatchingAgglomeration>(
+            /*starAdaptation=*/false);
+    }
+    fail("makeDetector: unknown algorithm '" + name + "'");
+}
+
+std::vector<std::string> detectorNames() {
+    return {"PLP",   "PLM",    "PLMR",  "EPP(4,PLP,PLM)", "EPP(4,PLP,PLMR)",
+            "Louvain", "LabelPropagation", "RG", "CGGC", "CGGCi",
+            "CLU_TBB", "CEL"};
+}
+
+std::vector<std::string> ourDetectorNames() {
+    return {"PLP", "PLM", "PLMR", "EPP(4,PLP,PLM)", "EPP(4,PLP,PLMR)"};
+}
+
+std::vector<std::string> competitorDetectorNames() {
+    return {"Louvain", "RG", "CGGC", "CGGCi", "CLU_TBB", "CEL"};
+}
+
+} // namespace grapr

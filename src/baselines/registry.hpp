@@ -1,0 +1,32 @@
+#pragma once
+// Central registry of all community detection algorithms — ours and the
+// competitor stand-ins — keyed by the names used throughout the paper's
+// evaluation. Benchmark harnesses and examples construct algorithms
+// through this single point so every experiment agrees on configurations.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "community/detector.hpp"
+
+namespace grapr {
+
+/// Construct a detector by paper name. Known names:
+///   "PLP", "PLM", "PLMR",
+///   "EPP(4,PLP,PLM)", "EPP(4,PLP,PLMR)",
+///   "Louvain", "LabelPropagation",
+///   "RG", "CGGC", "CGGCi", "CLU_TBB", "CEL"
+/// Throws on unknown names.
+std::unique_ptr<CommunityDetector> makeDetector(const std::string& name);
+
+/// All registered names, in the order used by the comparison figures.
+std::vector<std::string> detectorNames();
+
+/// The subset of names belonging to this paper's own algorithms.
+std::vector<std::string> ourDetectorNames();
+
+/// The subset of competitor stand-ins (§V-E).
+std::vector<std::string> competitorDetectorNames();
+
+} // namespace grapr

@@ -1,0 +1,49 @@
+#pragma once
+// Graph coarsening according to a partition (§III-B): the nodes of each
+// community collapse into one coarse node; an edge between coarse nodes
+// carries the summed weight of inter-community edges, a self-loop the
+// summed weight of intra-community edges.
+//
+// Two strategies, selectable for the ablation bench:
+//  * Sequential: one hash-aggregation sweep over the edges. The "major
+//    sequential bottleneck" of early PLM versions.
+//  * Parallel (the paper's scheme): each thread scans a slice of the nodes
+//    and aggregates its edges into a thread-private partial coarse graph;
+//    the partial adjacencies are then merged per coarse node in parallel.
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+struct CoarseningResult {
+    Graph coarseGraph{0, true};
+    /// π: fine node id -> coarse node id.
+    std::vector<node> fineToCoarse;
+};
+
+class ParallelPartitionCoarsening {
+public:
+    explicit ParallelPartitionCoarsening(bool parallel = true)
+        : parallel_(parallel) {}
+
+    /// Coarsen g according to zeta. zeta need not be compacted; community
+    /// ids are compacted into coarse node ids (ascending-id order, so the
+    /// result is deterministic regardless of thread count).
+    CoarseningResult run(const Graph& g, const Partition& zeta) const;
+
+private:
+    bool parallel_;
+
+    CoarseningResult runSequential(const Graph& g,
+                                   const std::vector<node>& fineToCoarse,
+                                   count coarseNodes) const;
+    CoarseningResult runParallel(const Graph& g,
+                                 const std::vector<node>& fineToCoarse,
+                                 count coarseNodes) const;
+};
+
+} // namespace grapr

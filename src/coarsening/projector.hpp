@@ -1,0 +1,27 @@
+#pragma once
+// Prolongation (§III-B "prolong"): map a solution computed on a coarse
+// graph back to the fine graph through the fine-to-coarse node map, and
+// through whole hierarchies of such maps.
+
+#include <vector>
+
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class ClusteringProjector {
+public:
+    /// ζ(v) = ζ'(π(v)): communities of the coarse solution assigned to the
+    /// fine nodes. fineToCoarse entries of `none` (removed fine nodes) stay
+    /// unassigned.
+    static Partition projectBack(const Partition& coarseSolution,
+                                 const std::vector<node>& fineToCoarse);
+
+    /// Project through a hierarchy: maps[0] is finest->next, last is
+    /// ...->coarsest; the solution lives on the coarsest level.
+    static Partition projectThroughHierarchy(
+        const Partition& coarsestSolution,
+        const std::vector<std::vector<node>>& maps);
+};
+
+} // namespace grapr

@@ -1,0 +1,81 @@
+#include "community/combiner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+namespace {
+
+count commonElementCount(const std::vector<Partition>& baseSolutions) {
+    require(!baseSolutions.empty(), "combine: no base solutions");
+    const count n = baseSolutions.front().numberOfElements();
+    for (const auto& zeta : baseSolutions) {
+        require(zeta.numberOfElements() == n,
+                "combine: base solutions over different node sets");
+    }
+    return n;
+}
+
+} // namespace
+
+Partition HashingCombiner::combine(
+    const std::vector<Partition>& baseSolutions) {
+    const count n = commonElementCount(baseSolutions);
+
+    // Parallel phase: hash each node's label vector.
+    std::vector<std::uint64_t> hashes(n);
+    const auto total = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t sv = 0; sv < total; ++sv) {
+        const node v = static_cast<node>(sv);
+        std::uint64_t h = kDjb2Seed;
+        for (const auto& zeta : baseSolutions) h = djb2Combine(h, zeta[v]);
+        hashes[v] = h;
+    }
+
+    // Compaction: 64-bit hash -> small core-community id. Sequential, but
+    // a single O(n) hash-map sweep.
+    Partition cores(n);
+    std::unordered_map<std::uint64_t, node> remap;
+    remap.reserve(n / 4 + 16);
+    for (node v = 0; v < n; ++v) {
+        auto [it, inserted] =
+            remap.emplace(hashes[v], static_cast<node>(remap.size()));
+        cores.set(v, it->second);
+    }
+    cores.setUpperBound(static_cast<node>(remap.size()));
+    return cores;
+}
+
+Partition SortingCombiner::combine(
+    const std::vector<Partition>& baseSolutions) {
+    const count n = commonElementCount(baseSolutions);
+    const count b = baseSolutions.size();
+
+    std::vector<node> order(n);
+    std::iota(order.begin(), order.end(), node{0});
+    auto labelLess = [&](node a, node c) {
+        for (count i = 0; i < b; ++i) {
+            if (baseSolutions[i][a] != baseSolutions[i][c]) {
+                return baseSolutions[i][a] < baseSolutions[i][c];
+            }
+        }
+        return false;
+    };
+    std::sort(order.begin(), order.end(), labelLess);
+
+    Partition cores(n);
+    node currentId = 0;
+    for (index i = 0; i < n; ++i) {
+        if (i > 0 && labelLess(order[i - 1], order[i])) ++currentId;
+        cores.set(order[i], currentId);
+    }
+    cores.setUpperBound(n == 0 ? 0 : currentId + 1);
+    return cores;
+}
+
+} // namespace grapr

@@ -1,0 +1,46 @@
+#pragma once
+// Core-community combination of b base solutions (paper §III-D,
+// Eq. III.2): two nodes belong to the same core community iff every base
+// solution puts them in the same community.
+//
+// Two implementations:
+//  * HashingCombiner — the paper's highly parallel scheme: hash the vector
+//    (ζ₁(v), …, ζ_b(v)) with djb2 to a single 64-bit core-community id.
+//    Collisions would merge unrelated cores; with 64-bit hashes they are
+//    vanishingly unlikely (the paper accepts the same trade-off).
+//  * SortingCombiner — exact, collision-free reference: lexicographic sort
+//    of the label vectors. Used by tests as the oracle and available to
+//    callers who cannot tolerate hash collisions.
+
+#include <vector>
+
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class HashingCombiner {
+public:
+    /// Combine base solutions over the same node set into core communities.
+    /// Result ids are compacted to [0, #cores).
+    static Partition combine(const std::vector<Partition>& baseSolutions);
+};
+
+class SortingCombiner {
+public:
+    static Partition combine(const std::vector<Partition>& baseSolutions);
+};
+
+/// djb2 (D. J. Bernstein) — the hash function the paper selected for the
+/// b-way combination; operating on the byte representation of each label.
+inline std::uint64_t djb2Combine(std::uint64_t hash, node label) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        const auto byte =
+            static_cast<std::uint64_t>((label >> shift) & 0xffU);
+        hash = ((hash << 5) + hash) + byte; // hash * 33 + byte
+    }
+    return hash;
+}
+
+inline constexpr std::uint64_t kDjb2Seed = 5381;
+
+} // namespace grapr

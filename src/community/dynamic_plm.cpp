@@ -1,0 +1,167 @@
+#include "community/dynamic_plm.hpp"
+
+#include <unordered_map>
+
+#include "community/plm.hpp"
+#include "quality/modularity.hpp"
+#include "support/parallel.hpp"
+
+namespace grapr {
+
+void DynamicPlm::run(const Graph& g) {
+    Plm plm(PlmConfig{.gamma = gamma_});
+    zeta_ = plm.run(g);
+    omegaE_ = g.totalEdgeWeight();
+
+    const count bound = g.upperNodeIdBound();
+    // Volumes indexed by community id; sized generously so split-offs can
+    // allocate fresh ids without reallocation in the common case.
+    communityVolume_.assign(std::max<count>(zeta_.upperBound(), bound) + 1,
+                            0.0);
+    g.forNodes([&](node v) { communityVolume_[zeta_[v]] += g.volume(v); });
+
+    active_.assign(bound, 0);
+    pending_.clear();
+    freeIds_.clear();
+    lastWork_ = 0;
+    hasRun_ = true;
+}
+
+void DynamicPlm::activate(node v) {
+    if (v < active_.size() && !active_[v]) {
+        active_[v] = 1;
+        pending_.push_back(v);
+    }
+}
+
+node DynamicPlm::allocateCommunityId() {
+    if (!freeIds_.empty()) {
+        const node id = freeIds_.back();
+        freeIds_.pop_back();
+        return id;
+    }
+    const node id = zeta_.upperBound();
+    zeta_.setUpperBound(id + 1);
+    if (communityVolume_.size() <= id) {
+        communityVolume_.resize(static_cast<std::size_t>(id) * 2 + 1, 0.0);
+    }
+    return id;
+}
+
+void DynamicPlm::onEdgeInsert(const Graph& g, node u, node v, edgeweight w) {
+    require(hasRun_, "DynamicPlm: call run() first");
+    // Volume bookkeeping: each endpoint gains w (a loop gains 2w).
+    omegaE_ += w;
+    if (u == v) {
+        communityVolume_[zeta_[u]] += 2.0 * w;
+    } else {
+        communityVolume_[zeta_[u]] += w;
+        communityVolume_[zeta_[v]] += w;
+    }
+    activate(u);
+    activate(v);
+    if (autoUpdate_) update(g);
+}
+
+void DynamicPlm::onEdgeRemove(const Graph& g, node u, node v, edgeweight w) {
+    require(hasRun_, "DynamicPlm: call run() first");
+    omegaE_ -= w;
+    if (u == v) {
+        communityVolume_[zeta_[u]] -= 2.0 * w;
+    } else {
+        communityVolume_[zeta_[u]] -= w;
+        communityVolume_[zeta_[v]] -= w;
+    }
+    activate(u);
+    activate(v);
+    if (g.hasNode(u)) {
+        g.forNeighborsOf(u, [&](node x, edgeweight) { activate(x); });
+    }
+    if (g.hasNode(v)) {
+        g.forNeighborsOf(v, [&](node x, edgeweight) { activate(x); });
+    }
+    if (autoUpdate_) update(g);
+}
+
+void DynamicPlm::update(const Graph& g) {
+    require(hasRun_, "DynamicPlm: call run() first");
+    if (omegaE_ <= 0.0) {
+        pending_.clear();
+        return;
+    }
+    lastWork_ = 0;
+    std::unordered_map<node, double> weightTo;
+
+    std::vector<node> frontier;
+    frontier.swap(pending_);
+    for (count sweep = 0; sweep < maxSweeps_ && !frontier.empty(); ++sweep) {
+        std::vector<node> next;
+        for (node u : frontier) {
+            active_[u] = 0;
+            if (!g.hasNode(u)) continue;
+            ++lastWork_;
+
+            const node current = zeta_[u];
+            const double volU = g.volume(u);
+
+            weightTo.clear();
+            g.forNeighborsOf(u, [&](node v, edgeweight w) {
+                if (v != u) weightTo[zeta_[v]] += w;
+            });
+
+            const auto itCurrent = weightTo.find(current);
+            const double weightToCurrent =
+                itCurrent == weightTo.end() ? 0.0 : itCurrent->second;
+            const double volCurrent = communityVolume_[current] - volU;
+
+            node bestCommunity = current;
+            double bestDelta = 0.0;
+            for (const auto& [candidate, weight] : weightTo) {
+                if (candidate == current) continue;
+                const double delta = deltaModularity(
+                    omegaE_, weightToCurrent, weight, volCurrent,
+                    communityVolume_[candidate], volU, gamma_);
+                if (delta > bestDelta) {
+                    bestDelta = delta;
+                    bestCommunity = candidate;
+                }
+            }
+            // Split-off option: moving u into an empty community. Required
+            // so deletions can dissolve communities that stopped paying.
+            const double isolateDelta = deltaModularity(
+                omegaE_, weightToCurrent, 0.0, volCurrent, 0.0, volU,
+                gamma_);
+            bool isolate = false;
+            if (isolateDelta > bestDelta) {
+                bestDelta = isolateDelta;
+                isolate = true;
+            }
+
+            if (bestDelta > 0.0) {
+                node target;
+                if (isolate) {
+                    target = allocateCommunityId();
+                } else {
+                    target = bestCommunity;
+                }
+                communityVolume_[current] -= volU;
+                communityVolume_[target] += volU;
+                if (communityVolume_[current] <= 1e-12 &&
+                    current >= g.upperNodeIdBound()) {
+                    freeIds_.push_back(current); // recycle split-off ids
+                }
+                zeta_.set(u, target);
+                g.forNeighborsOf(u, [&](node v, edgeweight) {
+                    if (v != u && !active_[v]) {
+                        active_[v] = 1;
+                        next.push_back(v);
+                    }
+                });
+            }
+        }
+        frontier.swap(next);
+    }
+    for (node v : frontier) pending_.push_back(v);
+}
+
+} // namespace grapr

@@ -1,0 +1,126 @@
+#include "community/dynamic_plp.hpp"
+
+#include "community/plp.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+void DynamicPlp::run(const Graph& g) {
+    Plp plp;
+    zeta_ = plp.run(g);
+    active_.assign(g.upperNodeIdBound(), 0);
+    pending_.clear();
+    lastWork_ = 0;
+    hasRun_ = true;
+}
+
+void DynamicPlp::growToBound(count bound) {
+    if (zeta_.numberOfElements() < bound) {
+        Partition grown(bound);
+        for (node v = 0; v < zeta_.numberOfElements(); ++v) {
+            grown.set(v, zeta_[v]);
+        }
+        grown.setUpperBound(static_cast<node>(bound));
+        zeta_ = std::move(grown);
+    }
+    if (active_.size() < bound) active_.resize(bound, 0);
+}
+
+void DynamicPlp::activate(node v) {
+    if (v < active_.size() && !active_[v]) {
+        active_[v] = 1;
+        pending_.push_back(v);
+    }
+}
+
+void DynamicPlp::onNodeAdd(node v) {
+    require(hasRun_, "DynamicPlp: call run() first");
+    growToBound(static_cast<count>(v) + 1);
+    zeta_.set(v, v); // its own community until it gains edges
+    if (zeta_.upperBound() <= v) zeta_.setUpperBound(v + 1);
+}
+
+void DynamicPlp::onEdgeInsert(const Graph& g, node u, node v) {
+    require(hasRun_, "DynamicPlp: call run() first");
+    growToBound(g.upperNodeIdBound());
+    // The new edge can flip the dominant label of the endpoints and, via
+    // them, of their neighborhoods — activating the endpoints suffices:
+    // if one flips, its neighbors are reactivated by the sweep itself.
+    activate(u);
+    activate(v);
+    if (autoUpdate_) update(g);
+}
+
+void DynamicPlp::onEdgeRemove(const Graph& g, node u, node v) {
+    require(hasRun_, "DynamicPlp: call run() first");
+    growToBound(g.upperNodeIdBound());
+    activate(u);
+    activate(v);
+    // A removal can also strand a node whose label only lived on the
+    // removed edge; reactivate the immediate neighborhoods so the sweep
+    // re-evaluates them.
+    if (g.hasNode(u)) {
+        g.forNeighborsOf(u, [&](node w, edgeweight) { activate(w); });
+    }
+    if (g.hasNode(v)) {
+        g.forNeighborsOf(v, [&](node w, edgeweight) { activate(w); });
+    }
+    if (autoUpdate_) update(g);
+}
+
+void DynamicPlp::update(const Graph& g) {
+    require(hasRun_, "DynamicPlp: call run() first");
+    growToBound(g.upperNodeIdBound());
+    std::vector<node>& label = zeta_.vector();
+    SparseAccumulator acc(zeta_.numberOfElements());
+    lastWork_ = 0;
+
+    std::vector<node> frontier;
+    frontier.swap(pending_);
+    for (count sweep = 0; sweep < maxSweeps_ && !frontier.empty(); ++sweep) {
+        std::vector<node> next;
+        for (node v : frontier) {
+            active_[v] = 0;
+            if (!g.hasNode(v) || g.degree(v) == 0) continue;
+            ++lastWork_;
+
+            acc.clear();
+            g.forNeighborsOf(v, [&](node u, edgeweight w) {
+                acc.add(label[u], w);
+            });
+            node best = label[v];
+            double bestWeight = -1.0;
+            count ties = 0;
+            for (index l : acc.touched()) {
+                const double weight = acc[l];
+                if (weight > bestWeight) {
+                    bestWeight = weight;
+                    best = static_cast<node>(l);
+                    ties = 1;
+                } else if (weight == bestWeight) {
+                    ++ties;
+                    if (Random::integer(ties) == 0) {
+                        best = static_cast<node>(l);
+                    }
+                }
+            }
+            if (acc[label[v]] == bestWeight) continue; // sticky label
+            if (best != label[v]) {
+                label[v] = best;
+                g.forNeighborsOf(v, [&](node u, edgeweight) {
+                    if (!active_[u]) {
+                        active_[u] = 1;
+                        next.push_back(u);
+                    }
+                });
+            }
+        }
+        frontier.swap(next);
+    }
+    // Anything still active when the sweep cap hits stays pending for the
+    // next update() call.
+    for (node v : frontier) pending_.push_back(v);
+}
+
+} // namespace grapr

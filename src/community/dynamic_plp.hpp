@@ -1,0 +1,69 @@
+#pragma once
+// Dynamic label propagation — the paper's future-work direction (its
+// funding project is "Parallel Analysis of Dynamic Networks"): maintain a
+// community solution across edge insertions and deletions without
+// re-solving from scratch.
+//
+// Strategy: keep the converged PLP label array; when the graph changes,
+// reactivate only the affected region (the edge endpoints and their
+// neighborhoods) and re-run the dominant-label iteration restricted to
+// the active set until it drains. For localized updates this touches a
+// vanishing fraction of the graph; quality tracks a from-scratch PLP run
+// (tests pin the agreement).
+//
+// The graph itself is owned by the caller, who mutates it and *then*
+// notifies this class — keeping the detector decoupled from the mutation
+// path, like the update-stream pattern of dynamic graph frameworks.
+
+#include <vector>
+
+#include "community/detector.hpp"
+
+namespace grapr {
+
+class DynamicPlp {
+public:
+    /// `maxSweeps`: cap on restricted iterations per update batch.
+    explicit DynamicPlp(count maxSweeps = 100) : maxSweeps_(maxSweeps) {}
+
+    /// Full (re-)initialization: run PLP from scratch on g.
+    void run(const Graph& g);
+
+    /// Notify that edge {u, v} was inserted into g (after the insertion).
+    void onEdgeInsert(const Graph& g, node u, node v);
+
+    /// Notify that edge {u, v} was removed from g (after the removal).
+    void onEdgeRemove(const Graph& g, node u, node v);
+
+    /// Notify that node v was added (isolated); it becomes its own
+    /// community until edges arrive.
+    void onNodeAdd(node v);
+
+    /// Process all pending reactivations; called automatically by the
+    /// notification methods unless `autoUpdate(false)` was set — batching
+    /// many updates before one update() call is much cheaper.
+    void update(const Graph& g);
+
+    void autoUpdate(bool enabled) { autoUpdate_ = enabled; }
+
+    /// Current solution (valid after run()).
+    const Partition& communities() const { return zeta_; }
+
+    /// Nodes re-evaluated by the last update() — the dynamic savings
+    /// metric (compare against n for a from-scratch run).
+    count lastUpdateWork() const noexcept { return lastWork_; }
+
+private:
+    count maxSweeps_;
+    bool autoUpdate_ = true;
+    Partition zeta_;
+    std::vector<std::uint8_t> active_;
+    std::vector<node> pending_;
+    count lastWork_ = 0;
+    bool hasRun_ = false;
+
+    void activate(node v);
+    void growToBound(count bound);
+};
+
+} // namespace grapr

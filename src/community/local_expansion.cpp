@@ -1,0 +1,96 @@
+#include "community/local_expansion.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace grapr {
+
+LocalCommunity LocalExpansion::expand(const Graph& g, node seed) const {
+    require(g.hasNode(seed), "LocalExpansion: seed does not exist");
+    LocalCommunity result;
+    const double totalVolume = 2.0 * g.totalEdgeWeight();
+    if (totalVolume <= 0.0) {
+        result.members = {seed};
+        result.conductance = 0.0;
+        return result;
+    }
+
+    // Greedy growth state: member set, its volume and cut, and for every
+    // boundary candidate the weight of its edges into the set.
+    std::unordered_set<node> members;
+    std::unordered_map<node, double> weightIn; // candidate -> w(cand, set)
+    double volume = 0.0;
+    double cut = 0.0;
+
+    auto absorb = [&](node v) {
+        members.insert(v);
+        weightIn.erase(v);
+        volume += g.volume(v);
+        g.forNeighborsOf(v, [&](node u, edgeweight w) {
+            if (u == v) return;
+            if (members.count(u)) {
+                cut -= w; // edge became internal
+            } else {
+                cut += w;
+                weightIn[u] += w;
+            }
+        });
+    };
+
+    absorb(seed);
+    std::vector<node> order{seed};
+    double bestConductance =
+        cut / std::min(volume, totalVolume - volume);
+    std::size_t bestPrefix = 1;
+
+    while (order.size() < maxSize_ && !weightIn.empty()) {
+        // Candidate minimizing the resulting conductance.
+        node bestCandidate = none;
+        double bestScore = std::numeric_limits<double>::max();
+        for (const auto& [candidate, wIn] : weightIn) {
+            const double newVolume = volume + g.volume(candidate);
+            // Cut change: -wIn (internalized) + (deg-out weight of cand).
+            const double candidateCut =
+                cut - wIn + (g.weightedDegree(candidate) - wIn -
+                             g.weight(candidate, candidate));
+            const double denom =
+                std::min(newVolume, totalVolume - newVolume);
+            const double score =
+                denom > 0.0 ? candidateCut / denom
+                            : std::numeric_limits<double>::max();
+            if (score < bestScore ||
+                (score == bestScore && candidate < bestCandidate)) {
+                bestScore = score;
+                bestCandidate = candidate;
+            }
+        }
+        if (bestCandidate == none) break;
+        absorb(bestCandidate);
+        order.push_back(bestCandidate);
+
+        const double denom = std::min(volume, totalVolume - volume);
+        const double conductance =
+            denom > 0.0 ? cut / denom : 1.0;
+        if (conductance < bestConductance) {
+            bestConductance = conductance;
+            bestPrefix = order.size();
+        }
+        // Early exit on a perfectly separated *proper* subset (cut hit
+        // zero with volume to spare — i.e. a whole component, not the
+        // whole graph).
+        if (cut <= 1e-12 && volume < totalVolume - 1e-9) {
+            bestConductance = 0.0;
+            bestPrefix = order.size();
+            break;
+        }
+    }
+
+    result.members.assign(order.begin(),
+                          order.begin() +
+                              static_cast<std::ptrdiff_t>(bestPrefix));
+    result.conductance = bestConductance;
+    return result;
+}
+
+} // namespace grapr

@@ -1,0 +1,33 @@
+#pragma once
+// Local (selective) community detection: find the community of one seed
+// node without touching the rest of the graph — the interactive-analysis
+// companion to the global algorithms ("which community does this user /
+// protein / page belong to?"). Greedy conductance expansion: grow a node
+// set from the seed, repeatedly absorbing the boundary node that lowers
+// the set's conductance most, and return the best prefix (the standard
+// greedy baseline of the seed-set expansion literature).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+struct LocalCommunity {
+    std::vector<node> members;   ///< includes the seed, in absorption order
+    double conductance = 1.0;    ///< of the returned set
+};
+
+class LocalExpansion {
+public:
+    /// `maxSize`: hard cap on the community size (also bounds work).
+    explicit LocalExpansion(count maxSize = 1000) : maxSize_(maxSize) {}
+
+    /// Community of `seed` in g.
+    LocalCommunity expand(const Graph& g, node seed) const;
+
+private:
+    count maxSize_;
+};
+
+} // namespace grapr

@@ -1,0 +1,123 @@
+#include "community/overlapping_lpa.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "support/random.hpp"
+
+namespace grapr {
+
+namespace {
+
+/// Sparse belonging-coefficient vector: (label, coefficient) pairs, sorted
+/// by label, coefficients summing to 1.
+using LabelVector = std::vector<std::pair<node, double>>;
+
+} // namespace
+
+Cover OverlappingLpa::run(const Graph& g) {
+    const count bound = g.upperNodeIdBound();
+    const double threshold = 1.0 / static_cast<double>(config_.maxMemberships);
+
+    std::vector<LabelVector> current(bound);
+    std::vector<LabelVector> next(bound);
+    g.forNodes([&](node v) { current[v] = {{v, 1.0}}; });
+
+    iterations_ = 0;
+    count stableRounds = 0;
+    for (count iteration = 0; iteration < config_.maxIterations; ++iteration) {
+        std::atomic<count> changed{0};
+        const auto n = static_cast<std::int64_t>(bound);
+#pragma omp parallel
+        {
+            std::unordered_map<node, double> acc;
+#pragma omp for schedule(guided)
+            for (std::int64_t sv = 0; sv < n; ++sv) {
+                const node v = static_cast<node>(sv);
+                if (!g.hasNode(v)) continue;
+                if (g.degree(v) == 0) {
+                    next[v] = current[v];
+                    continue;
+                }
+
+                // Weighted average of neighbor coefficient vectors.
+                acc.clear();
+                double totalWeight = 0.0;
+                g.forNeighborsOf(v, [&](node u, edgeweight w) {
+                    totalWeight += w;
+                    for (const auto& [label, coeff] : current[u]) {
+                        acc[label] += coeff * w;
+                    }
+                });
+
+                // Threshold and keep the strongest maxMemberships labels.
+                LabelVector kept;
+                double best = 0.0;
+                node bestLabel = none;
+                for (const auto& [label, mass] : acc) {
+                    const double coeff = mass / totalWeight;
+                    if (coeff > best ||
+                        (coeff == best &&
+                         (bestLabel == none || label < bestLabel))) {
+                        best = coeff;
+                        bestLabel = label;
+                    }
+                    if (coeff >= threshold) kept.emplace_back(label, coeff);
+                }
+                if (kept.empty() && bestLabel != none) {
+                    kept.emplace_back(bestLabel, best); // strongest survives
+                }
+                if (kept.size() > config_.maxMemberships) {
+                    std::partial_sort(
+                        kept.begin(),
+                        kept.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                config_.maxMemberships),
+                        kept.end(), [](const auto& a, const auto& b) {
+                            return a.second > b.second;
+                        });
+                    kept.resize(config_.maxMemberships);
+                }
+                std::sort(kept.begin(), kept.end());
+                double sum = 0.0;
+                for (const auto& [label, coeff] : kept) sum += coeff;
+                for (auto& [label, coeff] : kept) coeff /= sum;
+
+                // Change detection on the label set (coefficients always
+                // drift slightly; the retained set is what matters).
+                bool sameLabels = kept.size() == current[v].size();
+                if (sameLabels) {
+                    for (std::size_t i = 0; i < kept.size(); ++i) {
+                        if (kept[i].first != current[v][i].first) {
+                            sameLabels = false;
+                            break;
+                        }
+                    }
+                }
+                if (!sameLabels) {
+                    changed.fetch_add(1, std::memory_order_relaxed);
+                }
+                next[v] = std::move(kept);
+            }
+        }
+        current.swap(next);
+        ++iterations_;
+        if (changed.load() == 0) {
+            if (++stableRounds >= 2) break; // coefficient fixpoint reached
+        } else {
+            stableRounds = 0;
+        }
+    }
+
+    Cover cover(bound);
+    g.forNodes([&](node v) {
+        for (const auto& [label, coeff] : current[v]) {
+            cover.addToSubset(v, label);
+        }
+    });
+    cover.compact();
+    return cover;
+}
+
+} // namespace grapr

@@ -1,0 +1,46 @@
+#pragma once
+// Overlapping community detection by multi-label propagation, in the style
+// of COPRA (Gregory 2010) — the "considering overlapping communities"
+// extension the paper's conclusion names for the framework (§VII).
+//
+// Every node holds up to `maxMemberships` labels with belonging
+// coefficients summing to 1. Per synchronous iteration, a node averages
+// its neighbors' coefficient vectors (edge-weighted), drops labels below
+// the threshold 1/maxMemberships (keeping the strongest if all fall
+// below), and renormalizes. Nodes in the overlap of two dense regions
+// retain both labels; everyone else converges to one, so with
+// maxMemberships = 1 the algorithm degenerates to synchronous label
+// propagation.
+
+#include "graph/graph.hpp"
+#include "structures/cover.hpp"
+
+namespace grapr {
+
+struct OverlappingLpaConfig {
+    /// v in COPRA terms: maximum communities per node.
+    count maxMemberships = 2;
+    /// Synchronous iterations (COPRA converges within tens).
+    count maxIterations = 40;
+};
+
+class OverlappingLpa {
+public:
+    explicit OverlappingLpa(OverlappingLpaConfig config = {})
+        : config_(config) {
+        require(config_.maxMemberships >= 1,
+                "OverlappingLpa: maxMemberships must be >= 1");
+    }
+
+    /// Detect overlapping communities of g.
+    Cover run(const Graph& g);
+
+    /// Iterations of the last run.
+    count iterations() const noexcept { return iterations_; }
+
+private:
+    OverlappingLpaConfig config_;
+    count iterations_ = 0;
+};
+
+} // namespace grapr

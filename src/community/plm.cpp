@@ -1,0 +1,266 @@
+#include "community/plm.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include <omp.h>
+
+#include "coarsening/parallel_coarsening.hpp"
+#include "coarsening/projector.hpp"
+#include "quality/modularity.hpp"
+#include "support/parallel.hpp"
+
+namespace grapr {
+
+count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
+                     count maxIterations, IterationTracer* tracer) {
+    const count bound = g.upperNodeIdBound();
+    const double omegaE = g.totalEdgeWeight();
+    if (omegaE <= 0.0) return 0;
+
+    const count communityBound =
+        std::max<count>(zeta.upperBound(), bound);
+
+    // Per-community volume, maintained under atomic updates (the only
+    // shared interim value — see header).
+    std::vector<double> communityVolume(communityBound, 0.0);
+    std::vector<double> nodeVolume(bound, 0.0);
+    g.parallelForNodes([&](node u) { nodeVolume[u] = g.volume(u); });
+    g.forNodes([&](node u) { communityVolume[zeta[u]] += nodeVolume[u]; });
+
+    ScratchPool scratch(communityBound);
+
+    count totalMoves = 0;
+    count iteration = 0;
+    for (; iteration < maxIterations; ++iteration) {
+        count movedThisRound = 0;
+        const auto n = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+        for (std::int64_t su = 0; su < n; ++su) {
+            const node u = static_cast<node>(su);
+            if (!g.hasNode(u) || g.degree(u) == 0) continue;
+
+            const node current = zeta[u];
+
+            // Recompute the edge weight from u to every neighboring
+            // community (the paper's chosen strategy over cached maps).
+            SparseAccumulator& acc = scratch.local();
+            acc.clear();
+            g.forNeighborsOf(u, [&](node v, edgeweight w) {
+                if (v != u) acc.add(zeta[v], w);
+            });
+
+            const double volU = nodeVolume[u];
+            const double weightToCurrent = acc[current];
+            // vol(C \ {u}): the community volume without u. Reads may be
+            // stale under concurrency — tolerated by design.
+            double volCurrent;
+#pragma omp atomic read
+            volCurrent = communityVolume[current];
+            volCurrent -= volU;
+
+            node bestCommunity = current;
+            double bestDelta = 0.0;
+            for (index c : acc.touched()) {
+                const node candidate = static_cast<node>(c);
+                if (candidate == current) continue;
+                double volCandidate;
+#pragma omp atomic read
+                volCandidate = communityVolume[candidate];
+                const double delta =
+                    deltaModularity(omegaE, weightToCurrent, acc[c],
+                                    volCurrent, volCandidate, volU, gamma);
+                if (delta > bestDelta ||
+                    (delta == bestDelta && bestDelta > 0.0 &&
+                     candidate < bestCommunity)) {
+                    bestDelta = delta;
+                    bestCommunity = candidate;
+                }
+            }
+
+            if (bestCommunity != current && bestDelta > 0.0) {
+#pragma omp atomic
+                communityVolume[current] -= volU;
+#pragma omp atomic
+                communityVolume[bestCommunity] += volU;
+                zeta.set(u, bestCommunity);
+                ++movedThisRound;
+            }
+        }
+
+        totalMoves += movedThisRound;
+        if (tracer) {
+            tracer->record(iteration + 1, g.numberOfNodes(), movedThisRound);
+        }
+        if (movedThisRound == 0) break;
+    }
+    return totalMoves;
+}
+
+count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
+                               count maxIterations) {
+    const count bound = g.upperNodeIdBound();
+    const double omegaE = g.totalEdgeWeight();
+    if (omegaE <= 0.0) return 0;
+    const count communityBound = std::max<count>(zeta.upperBound(), bound);
+
+    std::vector<double> communityVolume(communityBound, 0.0);
+    std::vector<double> nodeVolume(bound, 0.0);
+    g.parallelForNodes([&](node u) { nodeVolume[u] = g.volume(u); });
+    g.forNodes([&](node u) { communityVolume[zeta[u]] += nodeVolume[u]; });
+
+    // The abandoned design: one weight-to-community map and one lock per
+    // vertex. All reads and writes of a vertex's map go through its lock
+    // (std::map/unordered_map are not thread-safe).
+    std::vector<std::unordered_map<node, double>> weightTo(bound);
+    std::vector<omp_lock_t> locks(bound);
+    for (auto& lock : locks) omp_init_lock(&lock);
+    g.parallelForNodes([&](node u) {
+        auto& map = weightTo[u];
+        g.forNeighborsOf(u, [&](node v, edgeweight w) {
+            if (v != u) map[zeta[v]] += w;
+        });
+    });
+
+    count totalMoves = 0;
+    for (count iteration = 0; iteration < maxIterations; ++iteration) {
+        count movedThisRound = 0;
+        const auto n = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+        for (std::int64_t su = 0; su < n; ++su) {
+            const node u = static_cast<node>(su);
+            if (!g.hasNode(u) || g.degree(u) == 0) continue;
+            const node current = zeta[u];
+            const double volU = nodeVolume[u];
+
+            node bestCommunity = current;
+            double bestDelta = 0.0;
+            {
+                omp_set_lock(&locks[u]);
+                const auto& map = weightTo[u];
+                const auto itCurrent = map.find(current);
+                const double weightToCurrent =
+                    itCurrent == map.end() ? 0.0 : itCurrent->second;
+                double volCurrent;
+#pragma omp atomic read
+                volCurrent = communityVolume[current];
+                volCurrent -= volU;
+                for (const auto& [candidate, weight] : map) {
+                    if (candidate == current) continue;
+                    double volCandidate;
+#pragma omp atomic read
+                    volCandidate = communityVolume[candidate];
+                    const double delta =
+                        deltaModularity(omegaE, weightToCurrent, weight,
+                                        volCurrent, volCandidate, volU,
+                                        gamma);
+                    if (delta > bestDelta) {
+                        bestDelta = delta;
+                        bestCommunity = candidate;
+                    }
+                }
+                omp_unset_lock(&locks[u]);
+            }
+
+            if (bestCommunity != current && bestDelta > 0.0) {
+#pragma omp atomic
+                communityVolume[current] -= volU;
+#pragma omp atomic
+                communityVolume[bestCommunity] += volU;
+                zeta.set(u, bestCommunity);
+                // Propagate the move into every neighbor's cached map.
+                g.forNeighborsOf(u, [&](node v, edgeweight w) {
+                    if (v == u) return;
+                    omp_set_lock(&locks[v]);
+                    auto& map = weightTo[v];
+                    auto it = map.find(current);
+                    if (it != map.end()) {
+                        it->second -= w;
+                        if (it->second <= 0.0) map.erase(it);
+                    }
+                    map[bestCommunity] += w;
+                    omp_unset_lock(&locks[v]);
+                });
+                ++movedThisRound;
+            }
+        }
+        totalMoves += movedThisRound;
+        if (movedThisRound == 0) break;
+    }
+    for (auto& lock : locks) omp_destroy_lock(&lock);
+    return totalMoves;
+}
+
+Partition Plm::runRecursive(const Graph& g, count level) {
+    Partition zeta(g.upperNodeIdBound());
+    zeta.allToSingletons();
+
+    PlmLevelInfo info;
+    info.nodes = g.numberOfNodes();
+    info.edges = g.numberOfEdges();
+
+    IterationTracer moveTracer;
+    const count moves =
+        config_.strategy == PlmWeightStrategy::CachedMaps
+            ? movePhaseCachedMaps(g, zeta, config_.gamma,
+                                  config_.maxMoveIterations)
+            : movePhase(g, zeta, config_.gamma, config_.maxMoveIterations,
+                        tracer_ ? &moveTracer : nullptr);
+    info.moveIterations = moveTracer.records().size();
+    info.totalMoves = moves;
+    levels_.push_back(info);
+    if (tracer_) {
+        for (const auto& r : moveTracer.records()) {
+            tracer_->record(level * 1000 + r.iteration, r.active, r.updated);
+        }
+    }
+
+    if (moves == 0) return zeta; // ζ unchanged: recursion bottoms out
+
+    ParallelPartitionCoarsening coarsener(config_.parallelCoarsening);
+    CoarseningResult coarse = coarsener.run(g, zeta);
+
+    // Guard against non-contraction (every community a singleton would
+    // reproduce the same graph forever).
+    if (coarse.coarseGraph.numberOfNodes() >= g.numberOfNodes()) return zeta;
+
+    const Partition coarseSolution =
+        runRecursive(coarse.coarseGraph, level + 1);
+    zeta = ClusteringProjector::projectBack(coarseSolution,
+                                            coarse.fineToCoarse);
+
+    if (config_.refine) {
+        // PLMR: re-evaluate node assignments on this level in view of the
+        // changes made on the coarser levels (Algorithm 4 line 7).
+        zeta.setUpperBound(
+            static_cast<node>(std::max<count>(zeta.upperBound(),
+                                              g.upperNodeIdBound())));
+        if (config_.strategy == PlmWeightStrategy::CachedMaps) {
+            movePhaseCachedMaps(g, zeta, config_.gamma,
+                                config_.maxMoveIterations);
+        } else {
+            movePhase(g, zeta, config_.gamma, config_.maxMoveIterations,
+                      nullptr);
+        }
+    }
+    return zeta;
+}
+
+Partition Plm::run(const Graph& g) {
+    levels_.clear();
+    Partition zeta = runRecursive(g, 0);
+    zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
+    zeta.compact();
+    return zeta;
+}
+
+std::string Plm::toString() const {
+    std::string name = config_.refine ? "PLMR" : "PLM";
+    if (config_.gamma != 1.0) {
+        name += "(gamma=" + std::to_string(config_.gamma) + ")";
+    }
+    if (!config_.parallelCoarsening) name += "+seqcoarse";
+    return name;
+}
+
+} // namespace grapr

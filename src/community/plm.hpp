@@ -1,0 +1,98 @@
+#pragma once
+// PLM — Parallel Louvain Method (paper Algorithms 2 & 3, §III-B), the first
+// shared-memory parallelization of the Louvain community detection method
+// for massive inputs, plus the refinement extension that turns it into
+// PLMR (Algorithm 4, §III-C).
+//
+// Each level: a parallel local-move phase greedily relocates nodes to the
+// neighboring community with the highest modularity gain until stable; the
+// graph is then coarsened by the resulting communities (parallel scheme,
+// see coarsening/) and the method recurses, finally prolonging the coarse
+// solution and — for PLMR — re-running the move phase as refinement.
+//
+// The move phase runs over all nodes in parallel with guided scheduling and
+// tolerates stale data: concurrent moves may invalidate a Δmod score
+// between evaluation and application, occasionally producing a
+// modularity-decreasing move, which later iterations correct (§III-B).
+// Following the paper's engineering result, the implementation does NOT
+// cache per-node neighbor-community weights (maps + locks proved slower);
+// it recomputes them per evaluation in per-thread scratch arrays and only
+// maintains per-community volumes, updated atomically on each move.
+
+#include <vector>
+
+#include "community/detector.hpp"
+
+namespace grapr {
+
+/// Strategy for obtaining the edge weight from a node to its neighboring
+/// communities inside the move phase — the paper's central engineering
+/// trade-off (§III-B).
+enum class PlmWeightStrategy {
+    /// Recompute per evaluation in per-thread scratch arrays (the paper's
+    /// final, faster choice; the default).
+    Recompute,
+    /// Maintain a per-node map of neighbor-community weights, protected by
+    /// a per-node lock, updated on every move — the paper's *first*
+    /// implementation, "later discovered to introduce too much overhead
+    /// (map operations, locks)". Kept selectable so the ablation bench can
+    /// measure that claim.
+    CachedMaps,
+};
+
+struct PlmConfig {
+    /// Resolution parameter γ ∈ [0, 2m]: 1 = standard modularity, smaller
+    /// coarser, larger finer (§III-B).
+    double gamma = 1.0;
+    /// Add the refinement move phase after every prolongation (PLMR).
+    bool refine = false;
+    /// Use the parallel coarsening scheme; sequential hash aggregation
+    /// otherwise (ablation of the "major sequential bottleneck").
+    bool parallelCoarsening = true;
+    /// Safety cap on move-phase sweeps per level.
+    count maxMoveIterations = 64;
+    /// Neighbor-community weight strategy (see PlmWeightStrategy).
+    PlmWeightStrategy strategy = PlmWeightStrategy::Recompute;
+};
+
+/// Per-level record of a PLM run, for scaling analyses and tests.
+struct PlmLevelInfo {
+    count nodes = 0;
+    count edges = 0;
+    count moveIterations = 0;
+    count totalMoves = 0;
+};
+
+class Plm : public CommunityDetector {
+public:
+    explicit Plm(PlmConfig config = {}) : config_(config) {}
+
+    Partition run(const Graph& g) override;
+
+    std::string toString() const override;
+
+    /// Coarsening hierarchy of the last run, finest level first.
+    const std::vector<PlmLevelInfo>& levels() const noexcept { return levels_; }
+
+    /// The local move phase (Algorithm 2), exposed for reuse by the
+    /// refinement pass, tests, and ablation benches. Moves nodes of g
+    /// between the communities of zeta until stable (or the iteration cap);
+    /// returns the number of moves performed. zeta must be complete with
+    /// ids < zeta.upperBound().
+    static count movePhase(const Graph& g, Partition& zeta, double gamma,
+                           count maxIterations, IterationTracer* tracer);
+
+    /// The abandoned first implementation (per-node cached maps + locks),
+    /// same contract as movePhase. Exposed for the strategy ablation.
+    static count movePhaseCachedMaps(const Graph& g, Partition& zeta,
+                                     double gamma, count maxIterations);
+
+protected:
+    PlmConfig config_;
+    std::vector<PlmLevelInfo> levels_;
+
+private:
+    Partition runRecursive(const Graph& g, count level);
+};
+
+} // namespace grapr

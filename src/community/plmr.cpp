@@ -1,0 +1,3 @@
+#include "community/plmr.hpp"
+
+// Plmr is a configuration of Plm (see header); no out-of-line definitions.

@@ -1,0 +1,27 @@
+#pragma once
+// PLMR — Parallel Louvain Method with Refinement (paper Algorithm 4,
+// §III-C): PLM plus an extra move phase after every prolongation, giving
+// each level the chance to re-evaluate assignments in view of decisions
+// taken on coarser levels. A thin configuration of Plm, promoted to a
+// named class because the paper treats it as a distinct algorithm (and the
+// Pareto evaluation scores it separately).
+
+#include "community/plm.hpp"
+
+namespace grapr {
+
+class Plmr final : public Plm {
+public:
+    explicit Plmr(double gamma = 1.0)
+        : Plm(PlmConfig{.gamma = gamma, .refine = true}) {}
+
+    std::string toString() const override {
+        std::string name = "PLMR";
+        if (config_.gamma != 1.0) {
+            name += "(gamma=" + std::to_string(config_.gamma) + ")";
+        }
+        return name;
+    }
+};
+
+} // namespace grapr

@@ -1,0 +1,64 @@
+#include "generators/barabasi_albert.hpp"
+
+#include <algorithm>
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+BarabasiAlbertGenerator::BarabasiAlbertGenerator(count n, count attachment)
+    : n_(n), attachment_(attachment) {
+    require(attachment >= 1, "BarabasiAlbert: attachment must be >= 1");
+    require(n > attachment, "BarabasiAlbert: n must exceed attachment");
+}
+
+Graph BarabasiAlbertGenerator::generate() {
+    GraphBuilder builder(n_, false);
+
+    // Seed: a clique on (attachment_ + 1) nodes, so every early node has
+    // degree >= attachment_ and sampling is well defined.
+    const count seedSize = attachment_ + 1;
+    std::vector<node> endpoints;
+    endpoints.reserve(2 * n_ * attachment_);
+    for (node u = 0; u < seedSize; ++u) {
+        for (node v = u + 1; v < seedSize; ++v) {
+            builder.addEdge(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+
+    std::vector<node> chosen;
+    chosen.reserve(attachment_);
+    for (node v = static_cast<node>(seedSize); v < n_; ++v) {
+        chosen.clear();
+        // Sample `attachment_` distinct targets degree-proportionally.
+        count guard = 0;
+        while (chosen.size() < attachment_) {
+            const node target =
+                endpoints[Random::integer(endpoints.size())];
+            if (std::find(chosen.begin(), chosen.end(), target) ==
+                chosen.end()) {
+                chosen.push_back(target);
+            }
+            // Degenerate safety: if fewer distinct candidates exist than
+            // attachment_, fall back to uniform choice among earlier nodes.
+            if (++guard > 64 * attachment_) {
+                const node target2 = static_cast<node>(Random::integer(v));
+                if (std::find(chosen.begin(), chosen.end(), target2) ==
+                    chosen.end()) {
+                    chosen.push_back(target2);
+                }
+            }
+        }
+        for (node target : chosen) {
+            builder.addEdge(v, target);
+            endpoints.push_back(v);
+            endpoints.push_back(target);
+        }
+    }
+    return builder.build();
+}
+
+} // namespace grapr

@@ -1,0 +1,32 @@
+#pragma once
+// Barabási–Albert preferential attachment. Grows a graph one node at a
+// time, attaching each new node to `attachment` existing nodes with
+// probability proportional to their degree. Used by the replica suite as a
+// proxy for the paper's internet-topology networks (as-22july06,
+// caidaRouterLevel, as-Skitter), whose defining property — a handful of
+// very high degree hubs among many low-degree nodes — is exactly what
+// preferential attachment produces.
+//
+// Implementation: the classic "repeated nodes" trick — maintain a list in
+// which every node appears once per incident edge endpoint; sampling a
+// uniform list element is degree-proportional sampling. Inherently
+// sequential (each step depends on the previous), but fast: O(m) total.
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class BarabasiAlbertGenerator final : public GraphGenerator {
+public:
+    /// n nodes total, starting from a small seed clique; each new node
+    /// attaches `attachment` edges.
+    BarabasiAlbertGenerator(count n, count attachment);
+
+    Graph generate() override;
+
+private:
+    count n_;
+    count attachment_;
+};
+
+} // namespace grapr

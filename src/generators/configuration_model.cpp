@@ -1,0 +1,40 @@
+#include "generators/configuration_model.hpp"
+
+#include <numeric>
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+ConfigurationModelGenerator::ConfigurationModelGenerator(
+    std::vector<count> degrees)
+    : degrees_(std::move(degrees)) {
+    const count total =
+        std::accumulate(degrees_.begin(), degrees_.end(), count{0});
+    require(total % 2 == 0,
+            "ConfigurationModel: degree sum must be even");
+}
+
+Graph ConfigurationModelGenerator::generate() {
+    const count n = degrees_.size();
+    std::vector<node> stubs;
+    count total = 0;
+    for (count d : degrees_) total += d;
+    stubs.reserve(total);
+    for (node v = 0; v < n; ++v) {
+        for (count i = 0; i < degrees_[v]; ++i) stubs.push_back(v);
+    }
+    Random::shuffle(stubs.begin(), stubs.end());
+
+    GraphBuilder builder(n, false);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        const node u = stubs[i];
+        const node v = stubs[i + 1];
+        if (u == v) continue; // erased model: drop loops
+        builder.addEdge(u, v);
+    }
+    return builder.build(/*dedup=*/true); // erase parallel edges
+}
+
+} // namespace grapr

@@ -1,0 +1,24 @@
+#pragma once
+// Configuration-model graph from a prescribed degree sequence: create
+// deg(v) stubs per node, shuffle, pair consecutive stubs, then erase
+// self-loops and parallel edges (the "erased configuration model", which
+// perturbs the degree sequence slightly but keeps the graph simple — the
+// standard approach inside LFR).
+
+#include <vector>
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class ConfigurationModelGenerator final : public GraphGenerator {
+public:
+    explicit ConfigurationModelGenerator(std::vector<count> degrees);
+
+    Graph generate() override;
+
+private:
+    std::vector<count> degrees_;
+};
+
+} // namespace grapr

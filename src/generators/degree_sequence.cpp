@@ -1,0 +1,99 @@
+#include "generators/degree_sequence.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/random.hpp"
+
+namespace grapr {
+
+std::vector<count> powerLawDegreeSequence(count n, count minDegree,
+                                          count maxDegree, double gamma) {
+    require(minDegree >= 1, "degree sequence: minDegree must be >= 1");
+    require(maxDegree < n, "degree sequence: maxDegree must be < n");
+    PowerLawSampler sampler(minDegree, maxDegree, gamma);
+    std::vector<count> degrees(n);
+    for (auto& d : degrees) d = sampler.sample();
+    // Parity fix: the configuration model needs an even number of stubs.
+    const count total = std::accumulate(degrees.begin(), degrees.end(), count{0});
+    if (total % 2 != 0) {
+        // Bump a non-maximal entry (always exists unless all are at max, in
+        // which case drop one instead).
+        for (auto& d : degrees) {
+            if (d < maxDegree) {
+                ++d;
+                return degrees;
+            }
+        }
+        --degrees.front();
+    }
+    return degrees;
+}
+
+std::vector<count> powerLawCommunitySizes(count n, count minSize,
+                                          count maxSize, double gamma) {
+    require(minSize >= 1 && maxSize >= minSize,
+            "community sizes: invalid bounds");
+    require(maxSize <= n, "community sizes: maxSize must be <= n");
+    PowerLawSampler sampler(minSize, maxSize, gamma);
+    std::vector<count> sizes;
+    count covered = 0;
+    while (covered < n) {
+        count s = sampler.sample();
+        if (covered + s > n) {
+            // Remainder too small for a fresh community: fold it into
+            // existing ones if it cannot stand alone.
+            const count remainder = n - covered;
+            if (remainder >= minSize) {
+                s = remainder;
+            } else if (!sizes.empty()) {
+                // Distribute the remainder over previous communities,
+                // respecting maxSize.
+                count leftover = remainder;
+                for (auto& existing : sizes) {
+                    while (leftover > 0 && existing < maxSize) {
+                        ++existing;
+                        --leftover;
+                    }
+                    if (leftover == 0) break;
+                }
+                if (leftover > 0) sizes.back() += leftover; // tolerate > max
+                break;
+            } else {
+                s = remainder; // single community smaller than minSize
+            }
+        }
+        sizes.push_back(s);
+        covered += s;
+    }
+    return sizes;
+}
+
+bool isGraphicalSequence(std::vector<count> degrees) {
+    std::sort(degrees.begin(), degrees.end(), std::greater<>());
+    const count n = degrees.size();
+    count total = std::accumulate(degrees.begin(), degrees.end(), count{0});
+    if (total % 2 != 0) return false;
+
+    // Erdős–Gallai: for each k, sum of k largest <= k(k-1) + sum of
+    // min(d_i, k) over the rest.
+    std::vector<count> prefix(n + 1, 0);
+    for (count i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + degrees[i];
+    for (count k = 1; k <= n; ++k) {
+        const count lhs = prefix[k];
+        count rhs = k * (k - 1);
+        // Sum over i > k of min(d_i, k): degrees sorted descending, so find
+        // the first index >= k where d_i < k via binary search.
+        const auto firstSmaller = std::lower_bound(
+            degrees.begin() + static_cast<std::ptrdiff_t>(k), degrees.end(), k,
+            [](count d, count bound) { return d >= bound; });
+        const count numAtLeastK = static_cast<count>(
+            firstSmaller - (degrees.begin() + static_cast<std::ptrdiff_t>(k)));
+        rhs += numAtLeastK * k;
+        rhs += prefix[n] - prefix[k + numAtLeastK];
+        if (lhs > rhs) return false;
+    }
+    return true;
+}
+
+} // namespace grapr

@@ -1,0 +1,27 @@
+#pragma once
+// Power-law degree sequence sampling with feasibility fix-ups, shared by
+// the configuration model and the LFR generator.
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+/// Draw n degrees from P(k) ∝ k^-gamma on [minDegree, maxDegree] and adjust
+/// the final entry so the total is even (a graphical necessity for the
+/// configuration model).
+std::vector<count> powerLawDegreeSequence(count n, count minDegree,
+                                          count maxDegree, double gamma);
+
+/// Draw community sizes from P(s) ∝ s^-gamma on [minSize, maxSize] until
+/// they cover exactly `n` nodes; the last community is clamped into range
+/// by merging/trimming. Returns the sizes (sum == n).
+std::vector<count> powerLawCommunitySizes(count n, count minSize,
+                                          count maxSize, double gamma);
+
+/// Erdős–Gallai check: is the sequence graphical (realizable as a simple
+/// graph)? O(n log n).
+bool isGraphicalSequence(std::vector<count> degrees);
+
+} // namespace grapr

@@ -1,0 +1,36 @@
+#include "generators/erdos_renyi.hpp"
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+ErdosRenyiGenerator::ErdosRenyiGenerator(count n, double p, bool selfLoops)
+    : n_(n), p_(p), selfLoops_(selfLoops) {
+    require(p >= 0.0 && p <= 1.0, "ErdosRenyi: p must be in [0,1]");
+}
+
+Graph ErdosRenyiGenerator::generate() {
+    GraphBuilder builder(n_, false);
+    if (p_ <= 0.0 || n_ == 0) return builder.build();
+
+    const auto rows = static_cast<std::int64_t>(n_);
+#pragma omp parallel for schedule(dynamic, 512)
+    for (std::int64_t sv = 0; sv < rows; ++sv) {
+        const node v = static_cast<node>(sv);
+        // Candidates for row v: u in [v+1, n) plus optionally the loop.
+        const count rowStart = selfLoops_ ? v : v + 1;
+        count u = rowStart;
+        for (;;) {
+            const count skip = Random::geometricSkip(p_);
+            if (skip >= n_ - u) break; // next edge falls beyond the row
+            u += skip;
+            builder.addEdge(v, static_cast<node>(u));
+            ++u;
+            if (u >= n_) break;
+        }
+    }
+    return builder.build();
+}
+
+} // namespace grapr

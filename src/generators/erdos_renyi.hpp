@@ -1,0 +1,24 @@
+#pragma once
+// Erdős–Rényi G(n, p) generator in expected O(n + m) time via geometric
+// edge skipping (Batagelj–Brandes): instead of flipping a coin per node
+// pair, jump directly to the next present edge. Parallelized over row
+// ranges of the upper triangle.
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class ErdosRenyiGenerator final : public GraphGenerator {
+public:
+    /// G(n, p); `selfLoops` adds each loop {v,v} with the same probability.
+    ErdosRenyiGenerator(count n, double p, bool selfLoops = false);
+
+    Graph generate() override;
+
+private:
+    count n_;
+    double p_;
+    bool selfLoops_;
+};
+
+} // namespace grapr

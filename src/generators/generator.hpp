@@ -1,0 +1,17 @@
+#pragma once
+// Common interface for graph generators. Every generator is deterministic
+// given Random::setSeed(...) and a fixed thread count.
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+class GraphGenerator {
+public:
+    virtual ~GraphGenerator() = default;
+
+    /// Generate one graph instance.
+    virtual Graph generate() = 0;
+};
+
+} // namespace grapr

@@ -1,0 +1,44 @@
+#include "generators/grid.hpp"
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+GridGenerator::GridGenerator(count rows, count columns, double diagonalChance,
+                             double chordChance)
+    : rows_(rows), columns_(columns), diagonalChance_(diagonalChance),
+      chordChance_(chordChance) {
+    require(rows >= 1 && columns >= 1, "Grid: dimensions must be positive");
+}
+
+Graph GridGenerator::generate() {
+    const count n = rows_ * columns_;
+    GraphBuilder builder(n, false);
+    auto id = [this](count r, count c) {
+        return static_cast<node>(r * columns_ + c);
+    };
+
+    const auto rows = static_cast<std::int64_t>(rows_);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t sr = 0; sr < rows; ++sr) {
+        const count r = static_cast<count>(sr);
+        for (count c = 0; c < columns_; ++c) {
+            const node v = id(r, c);
+            if (c + 1 < columns_) builder.addEdge(v, id(r, c + 1));
+            if (r + 1 < rows_) builder.addEdge(v, id(r + 1, c));
+            if (diagonalChance_ > 0.0 && r + 1 < rows_ && c + 1 < columns_ &&
+                Random::chance(diagonalChance_)) {
+                builder.addEdge(v, id(r + 1, c + 1));
+            }
+            if (chordChance_ > 0.0 && Random::chance(chordChance_)) {
+                const node t = static_cast<node>(Random::integer(n));
+                if (t != v) builder.addEdge(v, t);
+            }
+        }
+    }
+    // Chords may duplicate lattice edges; dedup keeps the graph simple.
+    return builder.build(/*dedup=*/true);
+}
+
+} // namespace grapr

@@ -1,0 +1,31 @@
+#pragma once
+// Two-dimensional grid (optionally with a fraction of random chords).
+// Proxy for the paper's low-degree, high-diameter instances: the power grid
+// (n≈5k, max degree 19) and europe-osm street network (avg degree ≈ 2,
+// LCC ≈ 0.001). These stress community detection differently from complex
+// networks: no hubs, no small-world shortcuts, and very deep coarsening
+// hierarchies.
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class GridGenerator final : public GraphGenerator {
+public:
+    /// rows × columns lattice; `diagonalChance` adds the (r,c)-(r+1,c+1)
+    /// diagonal with that probability (gives degree variation like real
+    /// infrastructure nets); `chordChance` attaches a uniformly random
+    /// long-range chord per node with that probability.
+    GridGenerator(count rows, count columns, double diagonalChance = 0.0,
+                  double chordChance = 0.0);
+
+    Graph generate() override;
+
+private:
+    count rows_;
+    count columns_;
+    double diagonalChance_;
+    double chordChance_;
+};
+
+} // namespace grapr

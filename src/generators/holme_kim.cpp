@@ -1,0 +1,63 @@
+#include "generators/holme_kim.hpp"
+
+#include <algorithm>
+
+#include "support/random.hpp"
+
+namespace grapr {
+
+HolmeKimGenerator::HolmeKimGenerator(count n, count attachment,
+                                     double triadProbability)
+    : n_(n), attachment_(attachment), triadProbability_(triadProbability) {
+    require(attachment >= 1, "HolmeKim: attachment must be >= 1");
+    require(n > attachment, "HolmeKim: n must exceed attachment");
+    require(triadProbability >= 0.0 && triadProbability <= 1.0,
+            "HolmeKim: triad probability in [0,1]");
+}
+
+Graph HolmeKimGenerator::generate() {
+    Graph g(n_, false);
+    // Seed clique as in the BA generator.
+    const count seedSize = attachment_ + 1;
+    std::vector<node> endpoints; // degree-proportional sampling list
+    endpoints.reserve(2 * n_ * attachment_);
+    for (node u = 0; u < seedSize; ++u) {
+        for (node v = u + 1; v < seedSize; ++v) {
+            g.addEdge(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+
+    for (node v = static_cast<node>(seedSize); v < n_; ++v) {
+        node lastTarget = none;
+        count added = 0;
+        count guard = 0;
+        while (added < attachment_ && guard < 64 * attachment_) {
+            ++guard;
+            node target = none;
+            if (lastTarget != none && Random::chance(triadProbability_)) {
+                // Triad formation: a random neighbor of the previous
+                // preferential target.
+                const count d = g.degree(lastTarget);
+                if (d > 0) {
+                    target = g.getIthNeighbor(lastTarget,
+                                              Random::integer(d));
+                }
+            }
+            if (target == none) {
+                // Preferential attachment step.
+                target = endpoints[Random::integer(endpoints.size())];
+            }
+            if (target == v || g.hasEdge(v, target)) continue;
+            g.addEdge(v, target);
+            endpoints.push_back(v);
+            endpoints.push_back(target);
+            lastTarget = target;
+            ++added;
+        }
+    }
+    return g;
+}
+
+} // namespace grapr

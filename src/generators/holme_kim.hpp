@@ -1,0 +1,27 @@
+#pragma once
+// Holme–Kim clustered scale-free generator: Barabási–Albert preferential
+// attachment with a triad-formation step — after each preferential link
+// to node w, with probability `triadProbability` the next link goes to a
+// random neighbor of w, closing a triangle. Produces the combination real
+// social networks show and plain BA lacks: power-law degrees AND a high
+// clustering coefficient (Table I's coAuthors/coPapers signature).
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class HolmeKimGenerator final : public GraphGenerator {
+public:
+    /// n nodes, `attachment` links per new node, triad-formation
+    /// probability in [0, 1] (0 reduces to Barabási–Albert).
+    HolmeKimGenerator(count n, count attachment, double triadProbability);
+
+    Graph generate() override;
+
+private:
+    count n_;
+    count attachment_;
+    double triadProbability_;
+};
+
+} // namespace grapr

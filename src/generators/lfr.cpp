@@ -1,0 +1,166 @@
+#include "generators/lfr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "generators/degree_sequence.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/logging.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+LfrGenerator::LfrGenerator(LfrParameters params) : params_(params) {
+    require(params_.n >= 2, "LFR: n too small");
+    require(params_.mu >= 0.0 && params_.mu <= 1.0, "LFR: mu in [0,1]");
+    require(params_.minDegree >= 1 && params_.maxDegree < params_.n,
+            "LFR: degree bounds invalid");
+    require(params_.minCommunitySize <= params_.maxCommunitySize &&
+                params_.maxCommunitySize <= params_.n,
+            "LFR: community size bounds invalid");
+}
+
+Graph LfrGenerator::generate() {
+    const count n = params_.n;
+
+    // 1. Degree sequence and its split into internal/external parts.
+    std::vector<count> degree = powerLawDegreeSequence(
+        n, params_.minDegree, params_.maxDegree, params_.degreeExponent);
+    std::vector<count> internalDegree(n);
+    for (node v = 0; v < n; ++v) {
+        internalDegree[v] = static_cast<count>(
+            std::llround((1.0 - params_.mu) * static_cast<double>(degree[v])));
+        internalDegree[v] = std::min(internalDegree[v], degree[v]);
+    }
+
+    // 2. Community sizes and node-to-community assignment. A node fits a
+    // community only if its internal degree is < community size; nodes are
+    // offered to random communities with free capacity, largest-internal-
+    // degree first so the hardest nodes get first pick.
+    std::vector<count> sizes = powerLawCommunitySizes(
+        n, params_.minCommunitySize, params_.maxCommunitySize,
+        params_.communityExponent);
+    const count k = sizes.size();
+
+    std::vector<node> order(n);
+    std::iota(order.begin(), order.end(), node{0});
+    std::sort(order.begin(), order.end(), [&](node a, node b) {
+        return internalDegree[a] > internalDegree[b];
+    });
+
+    truth_ = Partition(n);
+    truth_.setUpperBound(static_cast<node>(k));
+    std::vector<count> capacity = sizes;
+    std::vector<node> openCommunities(k);
+    std::iota(openCommunities.begin(), openCommunities.end(), node{0});
+
+    for (node v : order) {
+        bool placed = false;
+        // Try a handful of random open communities first.
+        for (int attempt = 0; attempt < 32 && !openCommunities.empty();
+             ++attempt) {
+            const index pick = Random::integer(openCommunities.size());
+            const node c = openCommunities[pick];
+            if (capacity[c] > 0 && internalDegree[v] < sizes[c]) {
+                truth_.set(v, c);
+                if (--capacity[c] == 0) {
+                    openCommunities[pick] = openCommunities.back();
+                    openCommunities.pop_back();
+                }
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            // Deterministic fallback: first open community; cap the internal
+            // degree to keep the node feasible (the reference implementation
+            // reassigns in a loop; capping converges and changes the degree
+            // of only a few extreme nodes).
+            node best = none;
+            for (index i = 0; i < openCommunities.size(); ++i) {
+                const node c = openCommunities[i];
+                if (capacity[c] == 0) continue;
+                if (best == none || sizes[c] > sizes[best]) best = c;
+            }
+            require(best != none, "LFR: no community with free capacity");
+            truth_.set(v, best);
+            internalDegree[v] = std::min<count>(internalDegree[v],
+                                                sizes[best] - 1);
+            if (--capacity[best] == 0) {
+                openCommunities.erase(std::find(openCommunities.begin(),
+                                                openCommunities.end(), best));
+            }
+        }
+    }
+
+    // 3. Internal subgraphs: per community an erased configuration model
+    // over the members' internal stubs.
+    std::vector<std::vector<node>> members(k);
+    for (node v = 0; v < n; ++v) members[truth_[v]].push_back(v);
+
+    GraphBuilder builder(n, false);
+    std::vector<node> stubs;
+    for (count c = 0; c < k; ++c) {
+        stubs.clear();
+        for (node v : members[c]) {
+            count d = internalDegree[v];
+            // A node cannot have more internal partners than the community
+            // offers.
+            d = std::min<count>(d, members[c].size() - 1);
+            for (count i = 0; i < d; ++i) stubs.push_back(v);
+        }
+        if (stubs.size() % 2 != 0) stubs.pop_back();
+        Random::shuffle(stubs.begin(), stubs.end());
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            if (stubs[i] == stubs[i + 1]) continue;
+            builder.addEdge(stubs[i], stubs[i + 1]);
+        }
+    }
+
+    // 4. External background graph over the remaining stubs, with rewiring
+    // of pairs that fall inside one community.
+    std::vector<node> external;
+    for (node v = 0; v < n; ++v) {
+        const count d = degree[v] - std::min(internalDegree[v], degree[v]);
+        for (count i = 0; i < d; ++i) external.push_back(v);
+    }
+    if (external.size() % 2 != 0) external.pop_back();
+
+    std::vector<node> retry;
+    constexpr int kRewirePasses = 8;
+    for (int pass = 0; pass < kRewirePasses && external.size() >= 2; ++pass) {
+        Random::shuffle(external.begin(), external.end());
+        retry.clear();
+        for (std::size_t i = 0; i + 1 < external.size(); i += 2) {
+            const node u = external[i];
+            const node v = external[i + 1];
+            if (u == v || truth_[u] == truth_[v]) {
+                retry.push_back(u);
+                retry.push_back(v);
+            } else {
+                builder.addEdge(u, v);
+            }
+        }
+        external.swap(retry);
+    }
+    if (!external.empty()) {
+        logDebug("LFR: dropped ", external.size(),
+                 " unmatchable external stubs");
+    }
+
+    Graph g = builder.build(/*dedup=*/true);
+
+    // Realized mixing parameter (over the simple graph).
+    count cross = 0;
+    g.forEdges([&](node u, node v, edgeweight) {
+        if (truth_[u] != truth_[v]) ++cross;
+    });
+    realizedMu_ = g.numberOfEdges() == 0
+                      ? 0.0
+                      : static_cast<double>(cross) /
+                            static_cast<double>(g.numberOfEdges());
+    return g;
+}
+
+} // namespace grapr

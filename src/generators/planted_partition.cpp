@@ -1,0 +1,55 @@
+#include "generators/planted_partition.hpp"
+
+#include <algorithm>
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+PlantedPartitionGenerator::PlantedPartitionGenerator(count n, count groups,
+                                                     double pIn, double pOut)
+    : n_(n), groups_(groups), pIn_(pIn), pOut_(pOut) {
+    require(groups >= 1, "PlantedPartition: need at least one group");
+    require(pIn >= 0.0 && pIn <= 1.0 && pOut >= 0.0 && pOut <= 1.0,
+            "PlantedPartition: probabilities must be in [0,1]");
+}
+
+Graph PlantedPartitionGenerator::generate() {
+    // Groups are contiguous blocks of ceil(n/k) nodes, so both the
+    // intra-group and the cross-group candidate ranges of any node are
+    // contiguous and geometric skipping applies to each.
+    const count blockSize = (n_ + groups_ - 1) / groups_;
+    truth_ = Partition(n_);
+    for (node v = 0; v < n_; ++v) {
+        truth_.set(v, static_cast<node>(v / blockSize));
+    }
+    truth_.setUpperBound(static_cast<node>((n_ + blockSize - 1) / blockSize));
+
+    GraphBuilder builder(n_, false);
+    const auto rows = static_cast<std::int64_t>(n_);
+#pragma omp parallel for schedule(dynamic, 512)
+    for (std::int64_t sv = 0; sv < rows; ++sv) {
+        const node v = static_cast<node>(sv);
+        const count groupEnd = std::min<count>(
+            (static_cast<count>(v) / blockSize + 1) * blockSize, n_);
+
+        auto sampleRange = [&](count lo, count hi, double p) {
+            if (p <= 0.0) return;
+            count u = lo;
+            while (u < hi) {
+                const count skip = Random::geometricSkip(p);
+                if (skip >= hi - u) break;
+                u += skip;
+                builder.addEdge(v, static_cast<node>(u));
+                ++u;
+            }
+        };
+
+        sampleRange(v + 1, groupEnd, pIn_); // intra-group, upper triangle
+        sampleRange(groupEnd, n_, pOut_);   // cross-group
+    }
+    return builder.build();
+}
+
+} // namespace grapr

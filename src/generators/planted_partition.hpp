@@ -1,0 +1,29 @@
+#pragma once
+// Planted-partition generator G(n, p_in, p_out): n nodes in k equally sized
+// groups, edge probability p_in inside a group and p_out across groups.
+// This is the model behind the paper's synthetic instance G_n_pin_pout
+// (Table I). Ground truth is returned for accuracy experiments.
+
+#include "generators/generator.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class PlantedPartitionGenerator final : public GraphGenerator {
+public:
+    PlantedPartitionGenerator(count n, count groups, double pIn, double pOut);
+
+    Graph generate() override;
+
+    /// Ground-truth communities of the last generate() call.
+    const Partition& groundTruth() const noexcept { return truth_; }
+
+private:
+    count n_;
+    count groups_;
+    double pIn_;
+    double pOut_;
+    Partition truth_;
+};
+
+} // namespace grapr

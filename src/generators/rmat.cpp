@@ -1,0 +1,52 @@
+#include "generators/rmat.hpp"
+
+#include <cmath>
+
+#include "graph/graph_builder.hpp"
+#include "support/random.hpp"
+
+namespace grapr {
+
+RmatGenerator::RmatGenerator(count scale, count edgeFactor, double a, double b,
+                             double c, double d)
+    : scale_(scale), edgeFactor_(edgeFactor), a_(a), b_(b), c_(c), d_(d) {
+    require(scale >= 1 && scale <= 31, "Rmat: scale must be in [1,31]");
+    require(std::abs(a + b + c + d - 1.0) < 1e-9,
+            "Rmat: probabilities must sum to 1");
+}
+
+Graph RmatGenerator::generate() {
+    const count n = count{1} << scale_;
+    const count samples = n * edgeFactor_;
+    GraphBuilder builder(n, false);
+
+    const double ab = a_ + b_;
+    const double abc = a_ + b_ + c_;
+
+    const auto total = static_cast<std::int64_t>(samples);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t s = 0; s < total; ++s) {
+        node u = 0, v = 0;
+        for (count level = 0; level < scale_; ++level) {
+            const double r = Random::real();
+            u <<= 1;
+            v <<= 1;
+            if (r < a_) {
+                // top-left quadrant: no bits set
+            } else if (r < ab) {
+                v |= 1; // top-right
+            } else if (r < abc) {
+                u |= 1; // bottom-left
+            } else {
+                u |= 1; // bottom-right
+                v |= 1;
+            }
+        }
+        if (u != v) builder.addEdge(u, v); // "-simple": drop loops
+    }
+    // Dedup collapses duplicate samples and the two orientations of each
+    // undirected edge.
+    return builder.build(/*dedup=*/true);
+}
+
+} // namespace grapr

@@ -1,0 +1,32 @@
+#pragma once
+// R-MAT / stochastic Kronecker generator (Chakrabarti–Zhan–Faloutsos).
+// Produces the scale-free, small-world graphs of the Graph500 family; the
+// paper uses R-MAT instances both as kron_g500-simple-logn20 (Table I) and
+// for the weak-scaling series with parameters (a,b,c,d) =
+// (0.57, 0.19, 0.19, 0.05) and edge factor 48 (§V-I).
+//
+// Each of n·edgeFactor directed edge samples recursively descends the
+// 2^scale × 2^scale adjacency matrix; duplicates and orientation are then
+// removed so the result is a simple undirected graph ("-simple" in Graph500
+// terms). Loops are discarded.
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class RmatGenerator final : public GraphGenerator {
+public:
+    /// n = 2^scale nodes, about n·edgeFactor sampled edges (fewer after
+    /// dedup). Probabilities must sum to 1.
+    RmatGenerator(count scale, count edgeFactor, double a = 0.57,
+                  double b = 0.19, double c = 0.19, double d = 0.05);
+
+    Graph generate() override;
+
+private:
+    count scale_;
+    count edgeFactor_;
+    double a_, b_, c_, d_;
+};
+
+} // namespace grapr

@@ -1,0 +1,94 @@
+#include "generators/simple_graphs.hpp"
+
+namespace grapr::SimpleGraphs {
+
+Graph clique(count n) {
+    Graph g(n, false);
+    for (node u = 0; u < n; ++u) {
+        for (node v = u + 1; v < n; ++v) g.addEdge(u, v);
+    }
+    return g;
+}
+
+Graph star(count n) {
+    require(n >= 1, "star: n must be >= 1");
+    Graph g(n, false);
+    for (node v = 1; v < n; ++v) g.addEdge(0, v);
+    return g;
+}
+
+Graph path(count n) {
+    Graph g(n, false);
+    for (node v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+    return g;
+}
+
+Graph cycle(count n) {
+    require(n >= 3, "cycle: n must be >= 3");
+    Graph g = path(n);
+    g.addEdge(static_cast<node>(n - 1), 0);
+    return g;
+}
+
+Graph cliqueChain(count cliques, count cliqueSize) {
+    require(cliques >= 1 && cliqueSize >= 2, "cliqueChain: invalid shape");
+    const count n = cliques * cliqueSize;
+    Graph g(n, false);
+    for (count c = 0; c < cliques; ++c) {
+        const node base = static_cast<node>(c * cliqueSize);
+        for (count i = 0; i < cliqueSize; ++i) {
+            for (count j = i + 1; j < cliqueSize; ++j) {
+                g.addEdge(base + static_cast<node>(i),
+                          base + static_cast<node>(j));
+            }
+        }
+        if (c + 1 < cliques) {
+            // Bridge: last node of this clique to first node of the next.
+            g.addEdge(base + static_cast<node>(cliqueSize - 1),
+                      base + static_cast<node>(cliqueSize));
+        }
+    }
+    return g;
+}
+
+Partition cliqueChainTruth(count cliques, count cliqueSize) {
+    Partition truth(cliques * cliqueSize);
+    for (node v = 0; v < truth.numberOfElements(); ++v) {
+        truth.set(v, static_cast<node>(v / cliqueSize));
+    }
+    truth.setUpperBound(static_cast<node>(cliques));
+    return truth;
+}
+
+Graph karateClub() {
+    // Zachary (1977), 0-based edge list.
+    static const std::pair<node, node> edges[] = {
+        {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+        {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+        {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+        {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+        {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+        {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+        {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+        {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+        {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+        {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+        {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+        {32, 33}};
+    Graph g(34, false);
+    for (auto [u, v] : edges) g.addEdge(u, v);
+    return g;
+}
+
+Partition karateFactions() {
+    // The administrator/instructor split observed by Zachary.
+    static const node faction[34] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+                                     0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1,
+                                     1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+    Partition p(34);
+    for (node v = 0; v < 34; ++v) p.set(v, faction[v]);
+    p.setUpperBound(2);
+    return p;
+}
+
+} // namespace grapr::SimpleGraphs

@@ -1,0 +1,41 @@
+#pragma once
+// Small deterministic graphs for tests and documentation: cliques, stars,
+// paths, cycles, the classic "two cliques and a bridge" community
+// detection smoke test, and a clustered caveman-style graph with known
+// optimal structure.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr::SimpleGraphs {
+
+/// Complete graph K_n.
+Graph clique(count n);
+
+/// Star S_n: node 0 is the hub, n-1 leaves.
+Graph star(count n);
+
+/// Path P_n (n nodes, n-1 edges).
+Graph path(count n);
+
+/// Cycle C_n.
+Graph cycle(count n);
+
+/// `cliques` cliques of `cliqueSize` nodes each, consecutive cliques joined
+/// by one bridge edge. The planted partition (one community per clique) is
+/// the modularity optimum for reasonable parameters — the canonical
+/// community detection smoke test.
+Graph cliqueChain(count cliques, count cliqueSize);
+
+/// Ground-truth partition matching cliqueChain's construction.
+Partition cliqueChainTruth(count cliques, count cliqueSize);
+
+/// The Zachary karate club graph (34 nodes, 78 edges) — the standard tiny
+/// real-world benchmark; its known two-faction split is returned by
+/// karateFactions().
+Graph karateClub();
+Partition karateFactions();
+
+} // namespace grapr::SimpleGraphs

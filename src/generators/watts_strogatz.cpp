@@ -1,0 +1,47 @@
+#include "generators/watts_strogatz.hpp"
+
+#include "support/random.hpp"
+
+namespace grapr {
+
+WattsStrogatzGenerator::WattsStrogatzGenerator(count n, count k, double beta)
+    : n_(n), k_(k), beta_(beta) {
+    require(k >= 2 && k % 2 == 0, "WattsStrogatz: k must be even and >= 2");
+    require(k < n, "WattsStrogatz: k must be < n");
+    require(beta >= 0.0 && beta <= 1.0, "WattsStrogatz: beta in [0,1]");
+}
+
+Graph WattsStrogatzGenerator::generate() {
+    Graph g(n_, false);
+    // Ring lattice: node v connects to v+1 .. v+k/2 (mod n).
+    for (node v = 0; v < n_; ++v) {
+        for (count j = 1; j <= k_ / 2; ++j) {
+            const node u = static_cast<node>((v + j) % n_);
+            g.addEdge(v, u);
+        }
+    }
+    if (beta_ <= 0.0) return g;
+
+    // Rewiring pass: sequential because hasEdge checks must observe prior
+    // rewires. For each lattice edge (v, v+j), with probability beta replace
+    // it by (v, random) avoiding loops and duplicates.
+    for (node v = 0; v < n_; ++v) {
+        for (count j = 1; j <= k_ / 2; ++j) {
+            if (!Random::chance(beta_)) continue;
+            const node oldTarget = static_cast<node>((v + j) % n_);
+            if (!g.hasEdge(v, oldTarget)) continue; // already rewired away
+            // Draw a replacement; bounded retries keep this O(1) expected
+            // for sparse graphs.
+            for (int attempt = 0; attempt < 32; ++attempt) {
+                const node t = static_cast<node>(Random::integer(n_));
+                if (t == v || g.hasEdge(v, t)) continue;
+                g.removeEdge(v, oldTarget);
+                g.addEdge(v, t);
+                break;
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace grapr

@@ -1,0 +1,26 @@
+#pragma once
+// Watts–Strogatz small-world generator: a ring lattice where every node
+// connects to its k nearest neighbors, each edge rewired to a random target
+// with probability beta. With small beta this yields the high-clustering /
+// long-path regime; the replica suite uses it (beta ≈ 0) as a proxy for
+// mesh-like networks (power grid, street networks).
+
+#include "generators/generator.hpp"
+
+namespace grapr {
+
+class WattsStrogatzGenerator final : public GraphGenerator {
+public:
+    /// n nodes, k/2 lattice neighbors per side (k must be even and < n),
+    /// rewiring probability beta.
+    WattsStrogatzGenerator(count n, count k, double beta);
+
+    Graph generate() override;
+
+private:
+    count n_;
+    count k_;
+    double beta_;
+};
+
+} // namespace grapr

@@ -1,0 +1,78 @@
+#include "graph/distances.hpp"
+
+#include <cmath>
+
+namespace grapr {
+
+void Bfs::run(node source) {
+    require(g_->hasNode(source), "Bfs: source does not exist");
+    const count bound = g_->upperNodeIdBound();
+    distance_.assign(bound, unreachable);
+    distance_[source] = 0;
+    eccentricity_ = 0;
+    farthest_ = source;
+    reached_ = 1;
+
+    std::vector<node> frontier{source};
+    std::vector<node> next;
+    count level = 0;
+    while (!frontier.empty()) {
+        ++level;
+        next.clear();
+        for (node u : frontier) {
+            g_->forNeighborsOf(u, [&](node v, edgeweight) {
+                if (distance_[v] != unreachable) return;
+                distance_[v] = level;
+                next.push_back(v);
+            });
+        }
+        if (!next.empty()) {
+            eccentricity_ = level;
+            farthest_ = next.back();
+            reached_ += next.size();
+        }
+        frontier.swap(next);
+    }
+}
+
+count approximateDiameter(const Graph& g, node seed, count sweeps) {
+    if (g.isEmpty()) return 0;
+    if (!g.hasNode(seed)) {
+        seed = g.nodeIds().front();
+    }
+    Bfs bfs(g);
+    count best = 0;
+    node start = seed;
+    for (count sweep = 0; sweep < sweeps; ++sweep) {
+        bfs.run(start);
+        if (bfs.eccentricity() <= best && sweep > 0) break; // converged
+        best = std::max(best, bfs.eccentricity());
+        start = bfs.farthestNode();
+    }
+    return best;
+}
+
+double degreeAssortativity(const Graph& g) {
+    // Pearson correlation over edge endpoint degree pairs, each non-loop
+    // edge contributing both orientations (the standard symmetric form).
+    double sumX = 0.0, sumXX = 0.0, sumXY = 0.0;
+    count pairs = 0;
+    g.forEdges([&](node u, node v, edgeweight) {
+        if (u == v) return;
+        const double du = static_cast<double>(g.degree(u));
+        const double dv = static_cast<double>(g.degree(v));
+        sumX += du + dv;
+        sumXX += du * du + dv * dv;
+        sumXY += 2.0 * du * dv;
+        pairs += 2;
+    });
+    if (pairs == 0) return 0.0;
+    const double n = static_cast<double>(pairs);
+    const double meanX = sumX / n;
+    const double varX = sumXX / n - meanX * meanX;
+    const double covXY = sumXY / n - meanX * meanX;
+    if (varX <= 0.0) return 0.0;
+    return covXY / varX;
+}
+
+} // namespace grapr

@@ -1,0 +1,56 @@
+#pragma once
+// Unweighted shortest-path utilities: frontier-based BFS, eccentricity
+// estimation and the double-sweep diameter lower bound, plus degree
+// assortativity. Small-world-ness (tiny diameter) and degree mixing are
+// the structural properties the paper's introduction calls out as the
+// source of the computational challenges (cache behaviour, load
+// imbalance); these tools let users quantify them.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+/// Breadth-first search from a single source.
+class Bfs {
+public:
+    explicit Bfs(const Graph& g) : g_(&g) {}
+
+    /// Run from `source`; distances of unreachable nodes are `unreachable`.
+    void run(node source);
+
+    static constexpr count unreachable = std::numeric_limits<count>::max();
+
+    const std::vector<count>& distances() const noexcept { return distance_; }
+
+    /// Largest finite distance of the last run (the source's eccentricity
+    /// within its component).
+    count eccentricity() const noexcept { return eccentricity_; }
+
+    /// Node realizing the eccentricity (farthest reachable node).
+    node farthestNode() const noexcept { return farthest_; }
+
+    /// Number of nodes reached (including the source).
+    count reached() const noexcept { return reached_; }
+
+private:
+    const Graph* g_;
+    std::vector<count> distance_;
+    count eccentricity_ = 0;
+    node farthest_ = none;
+    count reached_ = 0;
+};
+
+/// Double-sweep lower bound for the diameter: BFS from a seed, then BFS
+/// from the farthest node found; the second eccentricity is a (usually
+/// tight) lower bound. `sweeps` > 2 repeats from alternating endpoints.
+count approximateDiameter(const Graph& g, node seed = 0, count sweeps = 4);
+
+/// Pearson correlation of endpoint degrees over all edges (Newman's
+/// degree assortativity): negative for hub-leaf mixing (internet
+/// topologies), positive for social networks. Returns 0 for degenerate
+/// inputs (no variance).
+double degreeAssortativity(const Graph& g);
+
+} // namespace grapr

@@ -1,0 +1,109 @@
+#include "io/binary_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_builder.hpp"
+
+namespace grapr::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'R', 'P', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+    void operator()(std::FILE* f) const {
+        if (f) std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void writeRaw(std::FILE* f, const T& value) {
+    if (std::fwrite(&value, sizeof(T), 1, f) != 1) fail("writeBinary: I/O error");
+}
+
+template <typename T>
+void writeArray(std::FILE* f, const std::vector<T>& values) {
+    if (values.empty()) return;
+    if (std::fwrite(values.data(), sizeof(T), values.size(), f) !=
+        values.size()) {
+        fail("writeBinary: I/O error");
+    }
+}
+
+template <typename T>
+T readRaw(std::FILE* f) {
+    T value;
+    if (std::fread(&value, sizeof(T), 1, f) != 1) fail("readBinary: I/O error");
+    return value;
+}
+
+template <typename T>
+std::vector<T> readArray(std::FILE* f, std::size_t n) {
+    std::vector<T> values(n);
+    if (n != 0 && std::fread(values.data(), sizeof(T), n, f) != n) {
+        fail("readBinary: truncated file");
+    }
+    return values;
+}
+
+} // namespace
+
+void writeBinary(const Graph& g, const std::string& path) {
+    require(g.upperNodeIdBound() == g.numberOfNodes(),
+            "writeBinary: compact the graph first");
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) fail("writeBinary: cannot open " + path);
+
+    std::fwrite(kMagic, 1, 4, f.get());
+    writeRaw(f.get(), kVersion);
+    writeRaw(f.get(), static_cast<std::uint8_t>(g.isWeighted() ? 1 : 0));
+    writeRaw(f.get(), static_cast<std::uint64_t>(g.numberOfNodes()));
+    writeRaw(f.get(), static_cast<std::uint64_t>(g.numberOfEdges()));
+
+    std::vector<std::uint32_t> endpoints;
+    endpoints.reserve(2 * g.numberOfEdges());
+    std::vector<double> weights;
+    if (g.isWeighted()) weights.reserve(g.numberOfEdges());
+    g.forEdges([&](node u, node v, edgeweight w) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+        if (g.isWeighted()) weights.push_back(w);
+    });
+    writeArray(f.get(), endpoints);
+    writeArray(f.get(), weights);
+    if (std::ferror(f.get())) fail("writeBinary: write error on " + path);
+}
+
+Graph readBinary(const std::string& path) {
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) fail("readBinary: cannot open " + path);
+
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0) {
+        fail("readBinary: not a grapr binary graph: " + path);
+    }
+    const auto version = readRaw<std::uint32_t>(f.get());
+    require(version == kVersion, "readBinary: unsupported version");
+    const bool weighted = readRaw<std::uint8_t>(f.get()) != 0;
+    const auto n = readRaw<std::uint64_t>(f.get());
+    const auto m = readRaw<std::uint64_t>(f.get());
+
+    const auto endpoints = readArray<std::uint32_t>(f.get(), 2 * m);
+    const auto weights =
+        weighted ? readArray<double>(f.get(), m) : std::vector<double>{};
+
+    GraphBuilder builder(n, weighted);
+    for (std::size_t i = 0; i < m; ++i) {
+        builder.addEdge(endpoints[2 * i], endpoints[2 * i + 1],
+                        weighted ? weights[i] : 1.0);
+    }
+    return builder.build();
+}
+
+} // namespace grapr::io

@@ -1,0 +1,22 @@
+#pragma once
+// Compact binary graph format for fast reload of generated benchmark
+// instances (the replica suite is generated once and cached on disk so the
+// per-figure benches measure algorithms, not generators).
+//
+// Layout (little endian, no padding):
+//   magic "GRPR" | u32 version | u8 weighted | u64 n | u64 m
+//   m × { u32 u, u32 v }            each undirected edge once (u <= v)
+//   m × f64 weight                  only when weighted
+// Loaded through GraphBuilder, so reading is parallel after the raw fread.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace grapr::io {
+
+void writeBinary(const Graph& g, const std::string& path);
+
+Graph readBinary(const std::string& path);
+
+} // namespace grapr::io

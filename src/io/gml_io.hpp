@@ -1,0 +1,23 @@
+#pragma once
+// GML (Graph Modelling Language) I/O — the interchange format of
+// visualization tools (Gephi, Cytoscape, yEd) and of many classic network
+// datasets. Writing supports an optional community attribute so detected
+// solutions can be colored directly in the visualizer.
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr::io {
+
+/// Write g as GML; when `communities` is non-null, each node record gets a
+/// `community <id>` attribute.
+void writeGml(const Graph& g, const std::string& path,
+              const Partition* communities = nullptr);
+
+/// Read a GML file (the structural subset: node ids and edges, optional
+/// `weight` attribute on edges). Node ids are remapped to [0, n).
+Graph readGml(const std::string& path);
+
+} // namespace grapr::io

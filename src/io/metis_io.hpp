@@ -1,0 +1,20 @@
+#pragma once
+// METIS graph format I/O — the format of the 10th DIMACS Implementation
+// Challenge collection the paper's main test set comes from.
+//
+// Header line: "n m [fmt]" where fmt 1 = edge weights present (the subset
+// of the format grapr supports; node weights are not used by community
+// detection). Line i (1-based) lists the neighbors of node i, ids 1-based,
+// optionally interleaved with edge weights.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace grapr::io {
+
+Graph readMetis(const std::string& path);
+
+void writeMetis(const Graph& g, const std::string& path);
+
+} // namespace grapr::io

@@ -1,0 +1,41 @@
+#include "io/partition_io.hpp"
+
+#include <fstream>
+
+namespace grapr::io {
+
+void writePartition(const Partition& zeta, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) fail("writePartition: cannot open " + path);
+    for (node v = 0; v < zeta.numberOfElements(); ++v) {
+        if (zeta[v] == none) {
+            out << "-1\n";
+        } else {
+            out << zeta[v] << '\n';
+        }
+    }
+    if (!out) fail("writePartition: write error on " + path);
+}
+
+Partition readPartition(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) fail("readPartition: cannot open " + path);
+    std::vector<node> ids;
+    long long value;
+    node maxId = 0;
+    while (in >> value) {
+        if (value < 0) {
+            ids.push_back(none);
+        } else {
+            const node c = static_cast<node>(value);
+            ids.push_back(c);
+            maxId = std::max(maxId, c);
+        }
+    }
+    Partition zeta(ids.size());
+    for (node v = 0; v < ids.size(); ++v) zeta.set(v, ids[v]);
+    zeta.setUpperBound(ids.empty() ? 0 : maxId + 1);
+    return zeta;
+}
+
+} // namespace grapr::io

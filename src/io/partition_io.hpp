@@ -1,0 +1,16 @@
+#pragma once
+// Partition I/O: one community id per line, line i = node i. The format
+// used by DIMACS-challenge clustering tools, enabling external validation
+// of grapr solutions (and vice versa).
+
+#include <string>
+
+#include "structures/partition.hpp"
+
+namespace grapr::io {
+
+void writePartition(const Partition& zeta, const std::string& path);
+
+Partition readPartition(const std::string& path);
+
+} // namespace grapr::io

@@ -1,0 +1,95 @@
+#include "quality/clustering_coefficient.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace grapr {
+
+namespace {
+
+/// Sorted, loop-free copy of v's neighbor list.
+std::vector<node> sortedNeighbors(const Graph& g, node v) {
+    std::vector<node> result;
+    result.reserve(g.degree(v));
+    g.forNeighborsOf(v, [&](node u, edgeweight) {
+        if (u != v) result.push_back(u);
+    });
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    return result;
+}
+
+count intersectionSize(const std::vector<node>& a, const std::vector<node>& b) {
+    count size = 0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (*ia < *ib) {
+            ++ia;
+        } else if (*ib < *ia) {
+            ++ib;
+        } else {
+            ++size;
+            ++ia;
+            ++ib;
+        }
+    }
+    return size;
+}
+
+} // namespace
+
+double ClusteringCoefficient::averageLocal(const Graph& g) {
+    double sum = 0.0;
+    count contributors = 0;
+    const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
+#pragma omp parallel for schedule(guided) reduction(+ : sum, contributors)
+    for (std::int64_t sv = 0; sv < bound; ++sv) {
+        const node v = static_cast<node>(sv);
+        if (!g.hasNode(v)) continue;
+        const std::vector<node> nv = sortedNeighbors(g, v);
+        const count d = nv.size();
+        if (d < 2) continue;
+        count triangles = 0;
+        for (node u : nv) {
+            triangles += intersectionSize(nv, sortedNeighbors(g, u));
+        }
+        // Each triangle at v counted twice (once per other endpoint pair
+        // ordering through the intersection).
+        sum += static_cast<double>(triangles) /
+               static_cast<double>(d * (d - 1));
+        ++contributors;
+    }
+    return contributors == 0 ? 0.0
+                             : sum / static_cast<double>(contributors);
+}
+
+double ClusteringCoefficient::approxAverageLocal(const Graph& g,
+                                                 count samples) {
+    // Schank–Wagner: sample a node of degree >= 2 uniformly, then a random
+    // wedge at it; the closure probability estimates the average LCC.
+    std::vector<node> eligible;
+    g.forNodes([&](node v) {
+        if (g.degree(v) >= 2) eligible.push_back(v);
+    });
+    if (eligible.empty() || samples == 0) return 0.0;
+
+    count closed = 0;
+    const auto total = static_cast<std::int64_t>(samples);
+#pragma omp parallel for schedule(static) reduction(+ : closed)
+    for (std::int64_t s = 0; s < total; ++s) {
+        const node v = eligible[Random::integer(eligible.size())];
+        const count d = g.degree(v);
+        index i = Random::integer(d);
+        index j = Random::integer(d - 1);
+        if (j >= i) ++j;
+        const node a = g.getIthNeighbor(v, i);
+        const node b = g.getIthNeighbor(v, j);
+        if (a != b && a != v && b != v && g.hasEdge(a, b)) ++closed;
+    }
+    return static_cast<double>(closed) / static_cast<double>(samples);
+}
+
+} // namespace grapr

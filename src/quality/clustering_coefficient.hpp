@@ -1,0 +1,22 @@
+#pragma once
+// Average local clustering coefficient (the Table-I "LCC" column):
+// LCC(v) = triangles through v / (deg(v) choose 2), averaged over nodes of
+// degree >= 2. Exact counting by neighbor-set intersection over sorted
+// adjacencies, parallel over nodes; optionally sampled for huge graphs.
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+class ClusteringCoefficient {
+public:
+    /// Exact average local clustering coefficient.
+    /// Cost: O(Σ_v deg(v) · davg) with sorted-adjacency merges.
+    static double averageLocal(const Graph& g);
+
+    /// Approximate via `samples` uniformly sampled wedges (Schank–Wagner):
+    /// unbiased, error ~ 1/sqrt(samples). Deterministic under a fixed seed.
+    static double approxAverageLocal(const Graph& g, count samples);
+};
+
+} // namespace grapr

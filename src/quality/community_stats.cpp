@@ -1,0 +1,62 @@
+#include "quality/community_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace grapr {
+
+CommunitySizeStats communitySizeStats(const Partition& zeta) {
+    std::unordered_map<node, count> sizes;
+    for (node v = 0; v < zeta.numberOfElements(); ++v) {
+        if (zeta[v] != none) ++sizes[zeta[v]];
+    }
+    CommunitySizeStats stats;
+    stats.communities = sizes.size();
+    if (sizes.empty()) return stats;
+
+    std::vector<count> sorted;
+    sorted.reserve(sizes.size());
+    count total = 0;
+    for (const auto& [c, s] : sizes) {
+        sorted.push_back(s);
+        total += s;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    stats.smallest = sorted.front();
+    stats.largest = sorted.back();
+    stats.average =
+        static_cast<double>(total) / static_cast<double>(sorted.size());
+    const std::size_t mid = sorted.size() / 2;
+    stats.median = sorted.size() % 2 == 1
+                       ? static_cast<double>(sorted[mid])
+                       : (static_cast<double>(sorted[mid - 1]) +
+                          static_cast<double>(sorted[mid])) /
+                             2.0;
+    return stats;
+}
+
+EdgeCut communityEdgeCut(const Partition& zeta, const Graph& g) {
+    EdgeCut cut;
+    double intra = 0.0;
+    double inter = 0.0;
+    const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
+#pragma omp parallel for schedule(guided) reduction(+ : intra, inter)
+    for (std::int64_t su = 0; su < bound; ++su) {
+        const node u = static_cast<node>(su);
+        if (!g.hasNode(u)) continue;
+        g.forNeighborsOf(u, [&](node v, edgeweight w) {
+            if (u == v) {
+                intra += w;
+            } else if (zeta[u] == zeta[v]) {
+                intra += 0.5 * w;
+            } else {
+                inter += 0.5 * w;
+            }
+        });
+    }
+    cut.intraWeight = intra;
+    cut.interWeight = inter;
+    return cut;
+}
+
+} // namespace grapr

@@ -1,0 +1,33 @@
+#pragma once
+// Descriptive statistics of a community detection solution: community
+// count, size distribution, intra/inter edge weight split. Backs the
+// qualitative analysis of §VI (e.g. "PLP detects ca. 1000 small
+// communities, PLM/PLMR/EPP ca. 100" on PGPgiantcompo).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+struct CommunitySizeStats {
+    count communities = 0;
+    count smallest = 0;
+    count largest = 0;
+    double average = 0.0;
+    double median = 0.0;
+};
+
+/// Size distribution of the communities of zeta (ignores `none`).
+CommunitySizeStats communitySizeStats(const Partition& zeta);
+
+struct EdgeCut {
+    edgeweight intraWeight = 0.0;
+    edgeweight interWeight = 0.0;
+};
+
+/// Intra- vs inter-community edge weight (loops are intra by definition).
+EdgeCut communityEdgeCut(const Partition& zeta, const Graph& g);
+
+} // namespace grapr

@@ -1,0 +1,35 @@
+#pragma once
+// Connected components via label-propagation-style pointer jumping
+// (Shiloach–Vishkin flavored), parallel and lock-free; used for the
+// Table-I "comp." column and by generator sanity tests.
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class ConnectedComponents {
+public:
+    explicit ConnectedComponents(const Graph& g) : g_(&g) {}
+
+    void run();
+
+    /// Number of connected components (run() first).
+    count numberOfComponents() const;
+
+    /// Component id per node, compacted to [0, #components).
+    const Partition& componentPartition() const { return components_; }
+
+    /// Size of each component.
+    std::vector<count> componentSizes() const;
+
+    /// Number of nodes in the largest component.
+    count largestComponentSize() const;
+
+private:
+    const Graph* g_;
+    Partition components_;
+    bool hasRun_ = false;
+};
+
+} // namespace grapr

@@ -1,0 +1,86 @@
+#include "quality/core_decomposition.hpp"
+
+#include <algorithm>
+
+namespace grapr {
+
+void CoreDecomposition::run() {
+    const Graph& g = *g_;
+    const count bound = g.upperNodeIdBound();
+    core_.assign(bound, 0);
+
+    // Bucket sort nodes by degree (self-loops excluded from the peeling
+    // degree: a loop cannot be peeled away by removing a neighbor).
+    std::vector<count> degree(bound, 0);
+    count maxDegree = 0;
+    g.forNodes([&](node v) {
+        count d = 0;
+        g.forNeighborsOf(v, [&](node u, edgeweight) {
+            if (u != v) ++d;
+        });
+        degree[v] = d;
+        maxDegree = std::max(maxDegree, d);
+    });
+
+    std::vector<count> bucketStart(maxDegree + 2, 0);
+    g.forNodes([&](node v) { ++bucketStart[degree[v] + 1]; });
+    for (count d = 1; d < bucketStart.size(); ++d) {
+        bucketStart[d] += bucketStart[d - 1];
+    }
+    std::vector<node> order(g.numberOfNodes());
+    std::vector<count> position(bound, 0);
+    {
+        std::vector<count> cursor(bucketStart.begin(),
+                                  bucketStart.end() - 1);
+        g.forNodes([&](node v) {
+            position[v] = cursor[degree[v]]++;
+            order[position[v]] = v;
+        });
+    }
+    // bucketStart[d] = index of the first node with current degree d.
+
+    degeneracy_ = 0;
+    for (count i = 0; i < order.size(); ++i) {
+        const node v = order[i];
+        core_[v] = degree[v];
+        degeneracy_ = std::max(degeneracy_, degree[v]);
+        g.forNeighborsOf(v, [&](node u, edgeweight) {
+            if (u == v || degree[u] <= degree[v]) return;
+            // Move u one bucket down: swap it with the first node of its
+            // current bucket, then shrink the bucket.
+            const count du = degree[u];
+            const count posU = position[u];
+            const count posFirst = bucketStart[du];
+            const node first = order[posFirst];
+            if (u != first) {
+                std::swap(order[posU], order[posFirst]);
+                position[u] = posFirst;
+                position[first] = posU;
+            }
+            ++bucketStart[du];
+            --degree[u];
+        });
+    }
+    hasRun_ = true;
+}
+
+const std::vector<count>& CoreDecomposition::coreNumbers() const {
+    require(hasRun_, "CoreDecomposition: call run() first");
+    return core_;
+}
+
+count CoreDecomposition::degeneracy() const {
+    require(hasRun_, "CoreDecomposition: call run() first");
+    return degeneracy_;
+}
+
+count CoreDecomposition::coreSize(count k) const {
+    require(hasRun_, "CoreDecomposition: call run() first");
+    count size = 0;
+    g_->forNodes([&](node v) {
+        if (core_[v] >= k) ++size;
+    });
+    return size;
+}
+
+} // namespace grapr

@@ -1,0 +1,36 @@
+#pragma once
+// k-core decomposition by bucket peeling (Batagelj–Zaversnik, O(m)).
+// Coreness complements community structure analysis: the dense cores of a
+// complex network are where community detection is hardest (hub overlap),
+// and core numbers are a standard feature in the network profiles the
+// framework targets.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+class CoreDecomposition {
+public:
+    explicit CoreDecomposition(const Graph& g) : g_(&g) {}
+
+    void run();
+
+    /// Core number per node (0 for removed/isolated nodes).
+    const std::vector<count>& coreNumbers() const;
+
+    /// Largest core number (the degeneracy of the graph).
+    count degeneracy() const;
+
+    /// Number of nodes with core number >= k.
+    count coreSize(count k) const;
+
+private:
+    const Graph* g_;
+    std::vector<count> core_;
+    count degeneracy_ = 0;
+    bool hasRun_ = false;
+};
+
+} // namespace grapr

@@ -1,0 +1,29 @@
+#include "quality/coverage.hpp"
+
+namespace grapr {
+
+double Coverage::getQuality(const Partition& zeta, const Graph& g) const {
+    require(zeta.numberOfElements() >= g.upperNodeIdBound(),
+            "Coverage: partition does not cover the graph");
+    const double omegaE = g.totalEdgeWeight();
+    if (omegaE <= 0.0) return 0.0;
+
+    double intra = 0.0;
+    const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
+#pragma omp parallel for schedule(guided) reduction(+ : intra)
+    for (std::int64_t su = 0; su < bound; ++su) {
+        const node u = static_cast<node>(su);
+        if (!g.hasNode(u)) continue;
+        double local = 0.0;
+        g.forNeighborsOf(u, [&](node v, edgeweight w) {
+            if (zeta[u] != zeta[v]) return;
+            // Non-loop intra edges are visited from both endpoints and
+            // contribute half each time; loops are visited once.
+            local += (u == v) ? w : 0.5 * w;
+        });
+        intra += local;
+    }
+    return intra / omegaE;
+}
+
+} // namespace grapr

@@ -1,0 +1,17 @@
+#pragma once
+// Coverage: the fraction of total edge weight that falls within
+// communities. The objective PLP implicitly maximizes (§III-A: "a locally
+// greedy coverage maximizer").
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class Coverage {
+public:
+    /// Coverage of zeta on g, in [0, 1].
+    double getQuality(const Partition& zeta, const Graph& g) const;
+};
+
+} // namespace grapr

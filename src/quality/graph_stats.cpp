@@ -1,0 +1,40 @@
+#include "quality/graph_stats.hpp"
+
+#include <cstdio>
+
+#include "graph/graph_tools.hpp"
+#include "quality/clustering_coefficient.hpp"
+#include "quality/connected_components.hpp"
+
+namespace grapr {
+
+GraphProfile profileGraph(const Graph& g, count lccSamples) {
+    GraphProfile profile;
+    profile.n = g.numberOfNodes();
+    profile.m = g.numberOfEdges();
+    const auto degrees = GraphTools::degreeStatistics(g);
+    profile.maxDegree = degrees.maximum;
+    profile.averageDegree = degrees.average;
+
+    ConnectedComponents cc(g);
+    cc.run();
+    profile.components = cc.numberOfComponents();
+
+    profile.averageLcc =
+        lccSamples > 0 ? ClusteringCoefficient::approxAverageLocal(g, lccSamples)
+                       : ClusteringCoefficient::averageLocal(g);
+    return profile;
+}
+
+std::string formatProfileRow(const std::string& name, const GraphProfile& p) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof buffer,
+                  "%-22s %12llu %14llu %9llu %9llu %8.3f",
+                  name.c_str(), static_cast<unsigned long long>(p.n),
+                  static_cast<unsigned long long>(p.m),
+                  static_cast<unsigned long long>(p.maxDegree),
+                  static_cast<unsigned long long>(p.components), p.averageLcc);
+    return buffer;
+}
+
+} // namespace grapr

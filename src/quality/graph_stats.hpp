@@ -1,0 +1,28 @@
+#pragma once
+// One-call structural profile of a network — exactly the columns of the
+// paper's Table I: n, m, maximum degree, number of connected components,
+// and average local clustering coefficient.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace grapr {
+
+struct GraphProfile {
+    count n = 0;
+    count m = 0;
+    count maxDegree = 0;
+    count components = 0;
+    double averageLcc = 0.0;
+    double averageDegree = 0.0;
+};
+
+/// Compute the Table-I profile. `lccSamples` > 0 switches the clustering
+/// coefficient to wedge sampling (recommended beyond ~10^6 edges).
+GraphProfile profileGraph(const Graph& g, count lccSamples = 0);
+
+/// Render a profile as the paper's table row: name, n, m, max.d., comp, LCC.
+std::string formatProfileRow(const std::string& name, const GraphProfile& p);
+
+} // namespace grapr

@@ -1,0 +1,68 @@
+#include "quality/modularity.hpp"
+
+#include <vector>
+
+#include <omp.h>
+
+namespace grapr {
+
+double Modularity::getQuality(const Partition& zeta, const Graph& g) const {
+    require(zeta.numberOfElements() >= g.upperNodeIdBound(),
+            "Modularity: partition does not cover the graph");
+    const double omegaE = g.totalEdgeWeight();
+    if (omegaE <= 0.0) return 0.0;
+    const count k = zeta.upperBound();
+    require(k > 0, "Modularity: partition upper bound is zero");
+
+    // Intra-community weight per community. Accumulated in per-thread
+    // arrays to avoid atomics on the hot path; k is usually << n. When the
+    // replicated arrays would exceed ~512 MB (singleton partitions on huge
+    // graphs), fall back to one sequential sweep instead.
+    int threads = omp_get_max_threads();
+    if (static_cast<double>(k) * threads * 16.0 > 512e6) threads = 1;
+    std::vector<std::vector<double>> intraLocal(
+        static_cast<std::size_t>(threads), std::vector<double>(k, 0.0));
+    std::vector<std::vector<double>> volumeLocal(
+        static_cast<std::size_t>(threads), std::vector<double>(k, 0.0));
+
+    auto accumulate = [&](node u, std::size_t t) {
+        const node cu = zeta[u];
+        require(cu != none && cu < k, "Modularity: node unassigned");
+        double volume = 0.0;
+        double intra = 0.0;
+        g.forNeighborsOf(u, [&](node v, edgeweight w) {
+            volume += w;
+            if (u == v) volume += w; // self-loop counts twice in vol
+            if (zeta[v] == cu) {
+                // Non-loop intra edges will be seen from both endpoints
+                // (contributing w/2 + w/2); loops are seen once and count
+                // fully.
+                intra += (u == v) ? w : 0.5 * w;
+            }
+        });
+        intraLocal[t][cu] += intra;
+        volumeLocal[t][cu] += volume;
+    };
+    if (threads == 1) {
+        g.forNodes([&](node u) { accumulate(u, 0); });
+    } else {
+        g.parallelForNodes([&](node u) {
+            accumulate(u, static_cast<std::size_t>(omp_get_thread_num()));
+        });
+    }
+
+    double quality = 0.0;
+    for (count c = 0; c < k; ++c) {
+        double intra = 0.0;
+        double volume = 0.0;
+        for (int t = 0; t < threads; ++t) {
+            intra += intraLocal[static_cast<std::size_t>(t)][c];
+            volume += volumeLocal[static_cast<std::size_t>(t)][c];
+        }
+        quality += intra / omegaE -
+                   gamma_ * (volume * volume) / (4.0 * omegaE * omegaE);
+    }
+    return quality;
+}
+
+} // namespace grapr

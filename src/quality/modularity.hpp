@@ -1,0 +1,50 @@
+#pragma once
+// Modularity (Girvan–Newman, Eq. III.1 of the paper) with the resolution
+// parameter gamma of §III-B:
+//
+//   mod(ζ, G) = Σ_C [ ω(C)/ω(E) − γ · vol(C)² / (4 ω(E)²) ]
+//
+// γ = 1 is standard modularity; γ -> 0 favours one community, γ -> 2m
+// favours singletons. Evaluation is a single parallel edge sweep plus a
+// parallel volume reduction, O(m + n).
+
+#include "graph/graph.hpp"
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+class Modularity {
+public:
+    explicit Modularity(double gamma = 1.0) : gamma_(gamma) {}
+
+    /// Modularity of zeta on g. Requires a complete partition (every node
+    /// assigned) with ids < zeta.upperBound().
+    double getQuality(const Partition& zeta, const Graph& g) const;
+
+    double gamma() const noexcept { return gamma_; }
+
+private:
+    double gamma_;
+};
+
+/// Δmod of moving node u from community C to community D (both given with
+/// the weight from u into them, excluding u itself), per the closed form in
+/// §III-B. Shared by PLM, PLMR and the sequential Louvain baseline so all
+/// movers agree on the objective.
+///
+///   omegaE      = ω(E)
+///   weightToC   = ω(u, C \ {u})
+///   weightToD   = ω(u, D \ {u})
+///   volC        = vol(C \ {u}) (volume of C with u already removed)
+///   volD        = vol(D) (u not a member)
+///   volU        = vol(u)
+inline double deltaModularity(double omegaE, double weightToC, double weightToD,
+                              double volC, double volD, double volU,
+                              double gamma = 1.0) {
+    const double gain = (weightToD - weightToC) / omegaE;
+    const double penalty =
+        gamma * ((volC - volD) * volU) / (2.0 * omegaE * omegaE);
+    return gain + penalty;
+}
+
+} // namespace grapr

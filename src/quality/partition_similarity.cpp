@@ -1,0 +1,113 @@
+#include "quality/partition_similarity.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace grapr {
+
+namespace {
+
+/// Sparse contingency table between two partitions: for every community
+/// pair (a-community, b-community) that co-occurs at some node, its size.
+/// Both partitions are compacted into local id spaces first.
+struct Contingency {
+    std::vector<count> sizesA;
+    std::vector<count> sizesB;
+    std::unordered_map<std::uint64_t, count> cells;
+    count n = 0;
+};
+
+Contingency buildContingency(const Partition& a, const Partition& b) {
+    require(a.numberOfElements() == b.numberOfElements(),
+            "partition similarity: element counts differ");
+    Contingency table;
+    std::unordered_map<node, node> remapA, remapB;
+    for (node v = 0; v < a.numberOfElements(); ++v) {
+        if (a[v] == none || b[v] == none) continue;
+        auto [ia, insertedA] =
+            remapA.emplace(a[v], static_cast<node>(remapA.size()));
+        auto [ib, insertedB] =
+            remapB.emplace(b[v], static_cast<node>(remapB.size()));
+        const node ca = ia->second;
+        const node cb = ib->second;
+        if (ca >= table.sizesA.size()) table.sizesA.resize(ca + 1, 0);
+        if (cb >= table.sizesB.size()) table.sizesB.resize(cb + 1, 0);
+        ++table.sizesA[ca];
+        ++table.sizesB[cb];
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(ca) << 32) | cb;
+        ++table.cells[key];
+        ++table.n;
+    }
+    return table;
+}
+
+count choose2(count x) { return x * (x - 1) / 2; }
+
+} // namespace
+
+PairCounts countPairs(const Partition& a, const Partition& b) {
+    const Contingency table = buildContingency(a, b);
+    PairCounts counts;
+    count sameA = 0, sameB = 0, both = 0;
+    for (count s : table.sizesA) sameA += choose2(s);
+    for (count s : table.sizesB) sameB += choose2(s);
+    for (const auto& [key, size] : table.cells) both += choose2(size);
+    const count allPairs = choose2(table.n);
+    counts.bothSame = both;
+    counts.firstOnly = sameA - both;
+    counts.secondOnly = sameB - both;
+    counts.bothDifferent = allPairs - sameA - sameB + both;
+    return counts;
+}
+
+double jaccardIndex(const Partition& a, const Partition& b) {
+    const PairCounts c = countPairs(a, b);
+    const count denom = c.bothSame + c.firstOnly + c.secondOnly;
+    if (denom == 0) return 1.0; // both partitions are all-singletons
+    return static_cast<double>(c.bothSame) / static_cast<double>(denom);
+}
+
+double randIndex(const Partition& a, const Partition& b) {
+    const PairCounts c = countPairs(a, b);
+    const count total =
+        c.bothSame + c.firstOnly + c.secondOnly + c.bothDifferent;
+    if (total == 0) return 1.0;
+    return static_cast<double>(c.bothSame + c.bothDifferent) /
+           static_cast<double>(total);
+}
+
+double normalizedMutualInformation(const Partition& a, const Partition& b) {
+    const Contingency table = buildContingency(a, b);
+    if (table.n == 0) return 1.0;
+    const double n = static_cast<double>(table.n);
+
+    auto entropy = [n](const std::vector<count>& sizes) {
+        double h = 0.0;
+        for (count s : sizes) {
+            if (s == 0) continue;
+            const double p = static_cast<double>(s) / n;
+            h -= p * std::log(p);
+        }
+        return h;
+    };
+    const double ha = entropy(table.sizesA);
+    const double hb = entropy(table.sizesB);
+
+    double mutualInformation = 0.0;
+    for (const auto& [key, size] : table.cells) {
+        const auto ca = static_cast<node>(key >> 32);
+        const auto cb = static_cast<node>(key & 0xffffffffULL);
+        const double pij = static_cast<double>(size) / n;
+        const double pi = static_cast<double>(table.sizesA[ca]) / n;
+        const double pj = static_cast<double>(table.sizesB[cb]) / n;
+        mutualInformation += pij * std::log(pij / (pi * pj));
+    }
+    if (ha == 0.0 && hb == 0.0) return 1.0; // both trivial partitions
+    const double normalizer = (ha + hb) / 2.0;
+    if (normalizer == 0.0) return 0.0;
+    return mutualInformation / normalizer;
+}
+
+} // namespace grapr

@@ -1,0 +1,37 @@
+#pragma once
+// Partition similarity measures:
+//
+//  * Jaccard index over node pairs — the paper's accuracy measure for the
+//    LFR benchmark (Fig. 8) and its base-solution diversity probe (§V-D,
+//    "Jaccard dissimilarity").
+//  * Rand index — pair-counting agreement.
+//  * Normalized mutual information (NMI) — the information-theoretic
+//    standard in the community detection literature.
+//
+// Pair counting is done exactly in O(n + Σ contingency cells) via a sparse
+// contingency table, not by enumerating the O(n²) pairs.
+
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+/// Pair-counting summary of two partitions over the same node set.
+struct PairCounts {
+    count bothSame = 0;       ///< pairs together in A and in B (n11)
+    count firstOnly = 0;      ///< together in A, split in B (n10)
+    count secondOnly = 0;     ///< split in A, together in B (n01)
+    count bothDifferent = 0;  ///< split in both (n00)
+};
+
+PairCounts countPairs(const Partition& a, const Partition& b);
+
+/// Jaccard index n11 / (n11 + n10 + n01), 1 = identical grouping.
+double jaccardIndex(const Partition& a, const Partition& b);
+
+/// Rand index (n11 + n00) / all pairs.
+double randIndex(const Partition& a, const Partition& b);
+
+/// NMI with arithmetic-mean normalization, in [0, 1].
+double normalizedMutualInformation(const Partition& a, const Partition& b);
+
+} // namespace grapr

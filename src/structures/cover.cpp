@@ -1,0 +1,80 @@
+#include "structures/cover.hpp"
+
+#include <unordered_map>
+
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+count Cover::numberOfSubsets() const {
+    std::vector<node> ids;
+    for (const auto& sets : memberships_) {
+        ids.insert(ids.end(), sets.begin(), sets.end());
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids.size();
+}
+
+std::map<node, std::vector<node>> Cover::subsets() const {
+    std::map<node, std::vector<node>> result;
+    for (node v = 0; v < memberships_.size(); ++v) {
+        for (node c : memberships_[v]) result[c].push_back(v);
+    }
+    return result;
+}
+
+std::map<node, count> Cover::subsetSizes() const {
+    std::map<node, count> sizes;
+    for (const auto& sets : memberships_) {
+        for (node c : sets) ++sizes[c];
+    }
+    return sizes;
+}
+
+double Cover::overlapFraction() const {
+    if (memberships_.empty()) return 0.0;
+    count overlapping = 0;
+    for (const auto& sets : memberships_) {
+        if (sets.size() > 1) ++overlapping;
+    }
+    return static_cast<double>(overlapping) /
+           static_cast<double>(memberships_.size());
+}
+
+count Cover::compact() {
+    std::unordered_map<node, node> remap;
+    for (auto& sets : memberships_) {
+        for (auto& c : sets) {
+            auto [it, inserted] =
+                remap.emplace(c, static_cast<node>(remap.size()));
+            c = it->second;
+        }
+        std::sort(sets.begin(), sets.end());
+    }
+    upperId_ = static_cast<node>(remap.size());
+    return remap.size();
+}
+
+Partition Cover::toPartition() const {
+    Partition zeta(memberships_.size());
+    for (node v = 0; v < memberships_.size(); ++v) {
+        if (memberships_[v].empty()) continue;
+        require(memberships_[v].size() == 1,
+                "Cover::toPartition: node has multiple memberships");
+        zeta.set(v, memberships_[v].front());
+    }
+    zeta.setUpperBound(upperId_);
+    return zeta;
+}
+
+Cover Cover::fromPartition(const Partition& zeta) {
+    Cover cover(zeta.numberOfElements());
+    for (node v = 0; v < zeta.numberOfElements(); ++v) {
+        if (zeta[v] != none) cover.addToSubset(v, zeta[v]);
+    }
+    cover.setUpperBound(zeta.upperBound());
+    return cover;
+}
+
+} // namespace grapr

@@ -1,0 +1,101 @@
+#pragma once
+// Cover: an overlapping community assignment — each node may belong to
+// several communities. The paper names overlapping communities as the
+// principal future extension of the framework (§VII); Cover is the
+// overlapping counterpart of Partition with the same id conventions
+// (integer community ids, compactable).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+class Cover {
+public:
+    Cover() = default;
+
+    explicit Cover(count n) : memberships_(n) {}
+
+    count numberOfElements() const noexcept { return memberships_.size(); }
+
+    /// Communities of node v (sorted, duplicate-free).
+    const std::vector<node>& subsetsOf(node v) const {
+        return memberships_[v];
+    }
+
+    /// Add node v to community c (no-op if already a member).
+    void addToSubset(node v, node c) {
+        auto& sets = memberships_[v];
+        const auto it = std::lower_bound(sets.begin(), sets.end(), c);
+        if (it == sets.end() || *it != c) sets.insert(it, c);
+        upperId_ = std::max<node>(upperId_, c + 1);
+    }
+
+    /// Remove node v from community c (no-op if not a member).
+    void removeFromSubset(node v, node c) {
+        auto& sets = memberships_[v];
+        const auto it = std::lower_bound(sets.begin(), sets.end(), c);
+        if (it != sets.end() && *it == c) sets.erase(it);
+    }
+
+    bool contains(node v, node c) const {
+        const auto& sets = memberships_[v];
+        return std::binary_search(sets.begin(), sets.end(), c);
+    }
+
+    /// Do u and v share at least one community?
+    bool inSameSubset(node u, node v) const {
+        const auto& a = memberships_[u];
+        const auto& b = memberships_[v];
+        auto ia = a.begin();
+        auto ib = b.begin();
+        while (ia != a.end() && ib != b.end()) {
+            if (*ia < *ib) {
+                ++ia;
+            } else if (*ib < *ia) {
+                ++ib;
+            } else {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    node upperBound() const noexcept { return upperId_; }
+    void setUpperBound(node bound) { upperId_ = std::max(upperId_, bound); }
+
+    /// Number of distinct non-empty communities.
+    count numberOfSubsets() const;
+
+    /// Map community id -> member nodes (only non-empty communities).
+    std::map<node, std::vector<node>> subsets() const;
+
+    /// Sizes of all non-empty communities, keyed by id.
+    std::map<node, count> subsetSizes() const;
+
+    /// Number of memberships of v.
+    count membershipCount(node v) const { return memberships_[v].size(); }
+
+    /// Fraction of nodes with more than one membership.
+    double overlapFraction() const;
+
+    /// Relabel community ids to consecutive [0, k); returns k.
+    count compact();
+
+    /// A Partition is a Cover with exactly one membership per node; this
+    /// conversion asserts unique membership (nodes with none stay
+    /// unassigned; multiple memberships throw).
+    class Partition toPartition() const;
+
+    /// Lift a Partition into a Cover (one membership per assigned node).
+    static Cover fromPartition(const class Partition& zeta);
+
+private:
+    std::vector<std::vector<node>> memberships_;
+    node upperId_ = 0;
+};
+
+} // namespace grapr

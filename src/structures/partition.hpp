@@ -1,0 +1,79 @@
+#pragma once
+// Partition of the node set into disjoint communities, represented exactly
+// as the paper prescribes (§III): an array indexed by node id containing
+// integer community ids. Community ids are not required to be consecutive
+// until compact() is called.
+
+#include <map>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+class Partition {
+public:
+    Partition() = default;
+
+    /// Partition over ids [0, n), all nodes unassigned (none).
+    explicit Partition(count n) : data_(n, none), upperId_(0) {}
+
+    /// Number of node slots.
+    count numberOfElements() const noexcept { return data_.size(); }
+
+    /// ζ(v): community of node v (none if unassigned).
+    node operator[](node v) const { return data_[v]; }
+
+    /// Assign node v to community c. c must be < upperBound() unless the
+    /// caller later calls setUpperBound/compact.
+    void set(node v, node c) { data_[v] = c; }
+
+    /// One community per node: ζ(v) = v (the singleton clustering that
+    /// seeds label propagation and the Louvain method).
+    void allToSingletons();
+
+    /// All nodes into community 0.
+    void allToOne();
+
+    /// Upper bound for community ids (ids are < upperBound()).
+    node upperBound() const noexcept { return upperId_; }
+    void setUpperBound(node bound) { upperId_ = bound; }
+
+    /// Merge the communities of a and b; returns the surviving id (the
+    /// smaller of the two current ids). O(n) — intended for small cases and
+    /// tests, not inner loops.
+    node mergeSubsets(node a, node b);
+
+    /// Relabel community ids to consecutive integers [0, k), preserving
+    /// relative order of first appearance when `byFirstAppearance`, else by
+    /// ascending old id. Returns k.
+    count compact(bool byFirstAppearance = false);
+
+    /// Number of distinct communities among assigned nodes.
+    count numberOfSubsets() const;
+
+    /// Size of every community, indexed by community id (requires ids
+    /// < upperBound()).
+    std::vector<count> subsetSizes() const;
+
+    /// Map community id -> member nodes (sparse; only non-empty entries).
+    std::map<node, std::vector<node>> subsets() const;
+
+    /// True if every node is assigned (no `none` entries).
+    bool isComplete() const;
+
+    /// True if ζ(u) == ζ(v).
+    bool inSameSubset(node u, node v) const { return data_[u] == data_[v]; }
+
+    /// Raw array access for hot loops.
+    const std::vector<node>& vector() const noexcept { return data_; }
+    std::vector<node>& vector() noexcept { return data_; }
+
+    bool operator==(const Partition& other) const = default;
+
+private:
+    std::vector<node> data_;
+    node upperId_ = 0;
+};
+
+} // namespace grapr

@@ -1,0 +1,35 @@
+#include "structures/union_find.hpp"
+
+namespace grapr {
+
+UnionFind::UnionFind(count n)
+    : parent_(n), rank_(n, 0), sets_(n) {
+    for (node v = 0; v < n; ++v) parent_[v] = v;
+}
+
+node UnionFind::find(node v) {
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]]; // path halving
+        v = parent_[v];
+    }
+    return v;
+}
+
+node UnionFind::unite(node a, node b) {
+    node ra = find(a);
+    node rb = find(b);
+    if (ra == rb) return ra;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --sets_;
+    return ra;
+}
+
+std::vector<node> UnionFind::toVector() {
+    std::vector<node> result(parent_.size());
+    for (node v = 0; v < parent_.size(); ++v) result[v] = find(v);
+    return result;
+}
+
+} // namespace grapr

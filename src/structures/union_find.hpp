@@ -1,0 +1,37 @@
+#pragma once
+// Union-find with path halving and union by rank. Used by the connected
+// components fallback and by tests that need an oracle for "same community"
+// closures (e.g. verifying the EPP hash combiner against Eq. III.2).
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+class UnionFind {
+public:
+    explicit UnionFind(count n);
+
+    /// Representative of v's set (with path halving).
+    node find(node v);
+
+    /// Merge the sets of a and b; returns the surviving representative.
+    node unite(node a, node b);
+
+    /// Are a and b in the same set?
+    bool connected(node a, node b) { return find(a) == find(b); }
+
+    /// Number of disjoint sets.
+    count numberOfSets() const noexcept { return sets_; }
+
+    /// Convert to a vector of representative ids (one entry per element).
+    std::vector<node> toVector();
+
+private:
+    std::vector<node> parent_;
+    std::vector<std::uint8_t> rank_;
+    count sets_;
+};
+
+} // namespace grapr

@@ -1,0 +1,43 @@
+#pragma once
+// Fundamental type aliases and small helpers shared by every grapr module.
+//
+// Node identifiers are 32-bit: the reproduction suite tops out in the tens
+// of millions of nodes, and halving the id width doubles the number of
+// adjacency entries per cache line, which matters for the complex-network
+// workloads this library targets (small-world graphs are latency bound).
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace grapr {
+
+/// Node identifier. Nodes of a graph are consecutive integers [0, n).
+using node = std::uint32_t;
+/// Generic index / size type for containers that may exceed 2^32 entries.
+using index = std::uint64_t;
+/// Count of nodes/edges/iterations.
+using count = std::uint64_t;
+/// Edge weight. Coarsened graphs accumulate weights, so floating point.
+using edgeweight = double;
+
+/// Sentinel for "no node" / "no community".
+inline constexpr node none = std::numeric_limits<node>::max();
+
+/// Default total-order tie break used when two choices score equally:
+/// prefer the smaller id, which keeps sequential runs deterministic.
+inline constexpr bool tieBreakLess(node a, node b) noexcept { return a < b; }
+
+/// Throw std::runtime_error with a formatted location-free message.
+[[noreturn]] inline void fail(const std::string& message) {
+    throw std::runtime_error(message);
+}
+
+/// Precondition check that survives NDEBUG: used on public API boundaries
+/// where violating the contract would corrupt memory, not just results.
+inline void require(bool condition, const char* message) {
+    if (!condition) fail(message);
+}
+
+} // namespace grapr

@@ -1,0 +1,47 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace grapr::Log {
+
+namespace {
+
+std::atomic<LogLevel> currentLevel{LogLevel::Warn};
+std::mutex writeMutex;
+
+const char* levelName(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void setLevel(LogLevel level) { currentLevel.store(level); }
+
+LogLevel level() { return currentLevel.load(std::memory_order_relaxed); }
+
+LogLevel parseLevel(const std::string& name) {
+    if (name == "trace") return LogLevel::Trace;
+    if (name == "debug") return LogLevel::Debug;
+    if (name == "info") return LogLevel::Info;
+    if (name == "warn") return LogLevel::Warn;
+    if (name == "error") return LogLevel::Error;
+    return LogLevel::Off;
+}
+
+void write(LogLevel messageLevel, const std::string& message) {
+    std::lock_guard<std::mutex> lock(writeMutex);
+    std::fprintf(stderr, "[grapr %-5s] %s\n", levelName(messageLevel),
+                 message.c_str());
+}
+
+} // namespace grapr::Log

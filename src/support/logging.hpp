@@ -1,0 +1,60 @@
+#pragma once
+// Minimal leveled logging to stderr. Algorithms log at DEBUG/INFO; the
+// default level WARN keeps benchmark output clean. Not asynchronous: grapr
+// never logs from inner parallel loops.
+
+#include <sstream>
+#include <string>
+
+namespace grapr {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace Log {
+
+void setLevel(LogLevel level);
+LogLevel level();
+
+/// Parse "trace" | "debug" | "info" | "warn" | "error" | "off".
+LogLevel parseLevel(const std::string& name);
+
+void write(LogLevel level, const std::string& message);
+
+} // namespace Log
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+void logDebug(Args&&... args) {
+    if (Log::level() <= LogLevel::Debug)
+        Log::write(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logInfo(Args&&... args) {
+    if (Log::level() <= LogLevel::Info)
+        Log::write(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logWarn(Args&&... args) {
+    if (Log::level() <= LogLevel::Warn)
+        Log::write(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logError(Args&&... args) {
+    if (Log::level() <= LogLevel::Error)
+        Log::write(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace grapr

@@ -1,0 +1,76 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+namespace grapr::Parallel {
+
+int maxThreads() { return omp_get_max_threads(); }
+
+void setThreads(int threads) {
+    if (threads >= 1) omp_set_num_threads(threads);
+}
+
+count prefixSum(std::vector<count>& values) {
+    const std::size_t n = values.size();
+    constexpr std::size_t kParallelThreshold = 1u << 16;
+    if (n < kParallelThreshold || maxThreads() == 1) {
+        count running = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const count v = values[i];
+            values[i] = running;
+            running += v;
+        }
+        return running;
+    }
+
+    const int threads = maxThreads();
+    std::vector<count> blockTotals(static_cast<std::size_t>(threads) + 1, 0);
+    const std::size_t chunk = (n + static_cast<std::size_t>(threads) - 1) /
+                              static_cast<std::size_t>(threads);
+
+#pragma omp parallel num_threads(threads)
+    {
+        const auto t = static_cast<std::size_t>(omp_get_thread_num());
+        const std::size_t lo = std::min(t * chunk, n);
+        const std::size_t hi = std::min(lo + chunk, n);
+        count local = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const count v = values[i];
+            values[i] = local;
+            local += v;
+        }
+        blockTotals[t + 1] = local;
+#pragma omp barrier
+#pragma omp single
+        {
+            for (std::size_t b = 1; b < blockTotals.size(); ++b) {
+                blockTotals[b] += blockTotals[b - 1];
+            }
+        }
+        const count offset = blockTotals[t];
+        if (offset != 0) {
+            for (std::size_t i = lo; i < hi; ++i) values[i] += offset;
+        }
+    }
+    return blockTotals.back();
+}
+
+double sum(const std::vector<double>& values) {
+    double total = 0.0;
+    const auto n = static_cast<std::int64_t>(values.size());
+#pragma omp parallel for reduction(+ : total) schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) total += values[static_cast<std::size_t>(i)];
+    return total;
+}
+
+count max(const std::vector<count>& values) {
+    count best = 0;
+    const auto n = static_cast<std::int64_t>(values.size());
+#pragma omp parallel for reduction(max : best) schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+        best = std::max(best, values[static_cast<std::size_t>(i)]);
+    }
+    return best;
+}
+
+} // namespace grapr::Parallel

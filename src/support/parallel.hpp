@@ -1,0 +1,116 @@
+#pragma once
+// Thin OpenMP conveniences: thread-count control, parallel prefix sums and
+// reductions, and a timestamped sparse accumulator used in the hot loops of
+// PLP and PLM.
+//
+// The algorithms in src/community use `#pragma omp parallel for
+// schedule(guided)` directly, as the paper prescribes for scale-free degree
+// distributions; these helpers cover the supporting plumbing.
+
+#include <cstddef>
+#include <vector>
+
+#include <omp.h>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+namespace Parallel {
+
+/// Number of threads OpenMP will use for the next parallel region.
+int maxThreads();
+
+/// Set the OpenMP thread count (also re-seeds nothing; callers who need
+/// reproducibility should call Random::setSeed afterwards so the per-thread
+/// RNG pool matches the new count).
+void setThreads(int threads);
+
+/// Exclusive prefix sum of `values` in place; returns the total.
+/// Parallel two-pass algorithm for large inputs, sequential fallback below
+/// a size threshold where the parallel version cannot win.
+count prefixSum(std::vector<count>& values);
+
+/// Sum of a vector<double> with per-thread partials (deterministic order
+/// within a fixed thread count).
+double sum(const std::vector<double>& values);
+
+/// Maximum element of a vector<count>; 0 for empty input.
+count max(const std::vector<count>& values);
+
+} // namespace Parallel
+
+/// Dense map from small-integer keys to double values with O(1) clear.
+///
+/// PLP and PLM repeatedly accumulate "edge weight from node u into each
+/// neighboring community" and then discard the map. A std::map per node (the
+/// paper's first implementation) was found to be the bottleneck; this is the
+/// "recompute with fast scratch" strategy the paper settled on. Each thread
+/// owns one accumulator sized to the key universe; clearing bumps a
+/// generation stamp instead of touching memory.
+class SparseAccumulator {
+public:
+    SparseAccumulator() = default;
+    explicit SparseAccumulator(index keyUniverse) { resize(keyUniverse); }
+
+    void resize(index keyUniverse) {
+        values_.assign(keyUniverse, 0.0);
+        stamp_.assign(keyUniverse, 0);
+        touched_.clear();
+        generation_ = 1;
+    }
+
+    index capacity() const noexcept { return values_.size(); }
+
+    /// Add `delta` to key `k`, registering k on first touch this generation.
+    void add(index k, double delta) {
+        if (stamp_[k] != generation_) {
+            stamp_[k] = generation_;
+            values_[k] = 0.0;
+            touched_.push_back(k);
+        }
+        values_[k] += delta;
+    }
+
+    /// Value of key `k` this generation (0 if untouched).
+    double operator[](index k) const {
+        return stamp_[k] == generation_ ? values_[k] : 0.0;
+    }
+
+    /// Keys touched since the last clear, in first-touch order.
+    const std::vector<index>& touched() const noexcept { return touched_; }
+
+    /// O(touched) clear; O(1) amortized per subsequent add.
+    void clear() {
+        touched_.clear();
+        ++generation_;
+        if (generation_ == 0) { // stamp wraparound: full reset
+            stamp_.assign(stamp_.size(), 0);
+            generation_ = 1;
+        }
+    }
+
+private:
+    std::vector<double> values_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<index> touched_;
+    std::uint32_t generation_ = 1;
+};
+
+/// Pool of per-thread SparseAccumulators sized to one key universe.
+class ScratchPool {
+public:
+    explicit ScratchPool(index keyUniverse) {
+        scratch_.resize(static_cast<std::size_t>(omp_get_max_threads()));
+        for (auto& s : scratch_) s.resize(keyUniverse);
+    }
+
+    SparseAccumulator& local() {
+        return scratch_[static_cast<std::size_t>(omp_get_thread_num())];
+    }
+
+private:
+    std::vector<SparseAccumulator> scratch_;
+};
+
+} // namespace grapr

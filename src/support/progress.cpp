@@ -1,0 +1,4 @@
+#include "support/progress.hpp"
+
+// IterationTracer is header-only; this translation unit anchors the module
+// in the build so the target exists even if the header becomes non-inline.

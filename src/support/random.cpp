@@ -1,0 +1,127 @@
+#include "support/random.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include <omp.h>
+
+namespace grapr::Random {
+
+namespace {
+
+std::uint64_t globalSeed = 42;
+std::vector<SplitMix64> pool; // one engine per OpenMP thread id
+std::mutex poolMutex;
+
+void rebuildPool(std::size_t threads) {
+    pool.clear();
+    pool.reserve(threads);
+    // Derive per-thread streams by running a seeding engine; SplitMix64
+    // outputs are equidistributed, so consecutive outputs give independent
+    // stream seeds.
+    SplitMix64 seeder(globalSeed);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(seeder());
+}
+
+} // namespace
+
+void setSeed(std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(poolMutex);
+    globalSeed = seed;
+    rebuildPool(static_cast<std::size_t>(omp_get_max_threads()));
+}
+
+std::uint64_t seed() { return globalSeed; }
+
+SplitMix64& engine() {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    if (tid >= pool.size()) {
+        // Defensive growth: the thread count was raised after the last
+        // setSeed. Serialized, but happens at most once per thread count.
+        std::lock_guard<std::mutex> lock(poolMutex);
+        if (tid >= pool.size()) rebuildPool(tid + 1);
+    }
+    return pool[tid];
+}
+
+std::uint64_t integer(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless bounded sampling.
+    SplitMix64& rng = engine();
+    auto wide = static_cast<unsigned __int128>(rng()) * bound;
+    auto low = static_cast<std::uint64_t>(wide);
+    if (low < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            wide = static_cast<unsigned __int128>(rng()) * bound;
+            low = static_cast<std::uint64_t>(wide);
+        }
+    }
+    return static_cast<std::uint64_t>(wide >> 64);
+}
+
+std::uint64_t integer(std::uint64_t lo, std::uint64_t hi) {
+    return lo + integer(hi - lo + 1);
+}
+
+double real() {
+    // 53 random mantissa bits -> uniform double in [0,1).
+    return static_cast<double>(engine()() >> 11) * 0x1.0p-53;
+}
+
+double real(double lo, double hi) { return lo + (hi - lo) * real(); }
+
+bool chance(double p) { return real() < p; }
+
+index choice(index size) { return integer(size); }
+
+count geometricSkip(double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return std::numeric_limits<count>::max();
+    const double u = 1.0 - real(); // u in (0,1]
+    return static_cast<count>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+} // namespace grapr::Random
+
+namespace grapr {
+
+PowerLawSampler::PowerLawSampler(count minValue, count maxValue, double gamma)
+    : min_(minValue), max_(maxValue) {
+    require(minValue >= 1, "PowerLawSampler: minValue must be >= 1");
+    require(maxValue >= minValue, "PowerLawSampler: maxValue < minValue");
+    const count buckets = max_ - min_ + 1;
+    cdf_.resize(buckets);
+    double total = 0.0;
+    for (count i = 0; i < buckets; ++i) {
+        const double k = static_cast<double>(min_ + i);
+        total += std::pow(k, -gamma);
+        cdf_[i] = total;
+    }
+    double expectation = 0.0;
+    double prev = 0.0;
+    for (count i = 0; i < buckets; ++i) {
+        cdf_[i] /= total;
+        expectation += static_cast<double>(min_ + i) * (cdf_[i] - prev);
+        prev = cdf_[i];
+    }
+    mean_ = expectation;
+}
+
+count PowerLawSampler::sample() const {
+    const double u = Random::real();
+    // First bucket whose cdf >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return min_ + lo;
+}
+
+} // namespace grapr

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic, thread-local random number generation.
+//
+// Parallel generators and algorithms must not share one RNG (contention and
+// non-reproducibility) nor seed per call (correlation). grapr keeps a pool
+// of SplitMix64 engines, one per OpenMP thread, all derived from a single
+// global seed; re-seeding the pool restores bitwise-identical sequential
+// behaviour, and per-thread streams are independent by construction.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace grapr {
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal as a per-thread engine
+/// and as a seed sequence for other engines.
+class SplitMix64 {
+public:
+    using result_type = std::uint64_t;
+
+    explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+        : state_(seed) {}
+
+    result_type operator()() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Global pool of per-thread engines. All free functions below draw from the
+/// engine belonging to the calling OpenMP thread.
+namespace Random {
+
+/// (Re-)seed the pool; resizes it to the current omp_get_max_threads().
+void setSeed(std::uint64_t seed);
+
+/// The seed last passed to setSeed (default 42).
+std::uint64_t seed();
+
+/// Engine of the calling thread. Call setSeed first if the thread count
+/// changed since the last seeding; the pool auto-grows defensively.
+SplitMix64& engine();
+
+/// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+std::uint64_t integer(std::uint64_t bound);
+
+/// Uniform integer in [lo, hi] inclusive.
+std::uint64_t integer(std::uint64_t lo, std::uint64_t hi);
+
+/// Uniform real in [0, 1).
+double real();
+
+/// Uniform real in [lo, hi).
+double real(double lo, double hi);
+
+/// Bernoulli trial with success probability p.
+bool chance(double p);
+
+/// Uniformly chosen element index for a container of the given size.
+index choice(index size);
+
+/// Geometric skip length for Bernoulli(p) edge sampling: the number of
+/// failures before the next success, i.e. floor(log(U)/log(1-p)).
+/// Used by G(n,p)-style generators to run in O(edges) instead of O(n^2).
+count geometricSkip(double p);
+
+/// Fisher-Yates shuffle using the calling thread's engine.
+template <typename It>
+void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+        std::swap(first[i - 1], first[integer(i)]);
+    }
+}
+
+} // namespace Random
+
+/// Samples integers from a bounded power-law distribution
+/// P(k) ∝ k^-gamma for k in [minValue, maxValue], by inverting the
+/// precomputed CDF with binary search. Used for LFR degree and community
+/// size sequences.
+class PowerLawSampler {
+public:
+    PowerLawSampler(count minValue, count maxValue, double gamma);
+
+    /// One sample using the calling thread's engine.
+    count sample() const;
+
+    /// Expected value of the distribution.
+    double mean() const noexcept { return mean_; }
+
+    count minValue() const noexcept { return min_; }
+    count maxValue() const noexcept { return max_; }
+
+private:
+    count min_;
+    count max_;
+    double mean_ = 0.0;
+    std::vector<double> cdf_; // cdf_[i] = P(X <= min_+i)
+};
+
+} // namespace grapr

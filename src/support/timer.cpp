@@ -1,0 +1,23 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace grapr {
+
+std::string formatDuration(double seconds) {
+    char buffer[64];
+    if (seconds < 1e-3) {
+        std::snprintf(buffer, sizeof buffer, "%.0f us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buffer, sizeof buffer, "%.1f ms", seconds * 1e3);
+    } else if (seconds < 120.0) {
+        std::snprintf(buffer, sizeof buffer, "%.2f s", seconds);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "%.1f min", seconds / 60.0);
+    }
+    return buffer;
+}
+
+} // namespace grapr

@@ -1,0 +1,66 @@
+#pragma once
+// Wall-clock timing for experiments. All running times reported by the
+// benchmark harnesses are wall time, matching the paper's "time to
+// solution" methodology (sequential and parallel codes measured alike).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grapr {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+public:
+    Timer() { restart(); }
+
+    void restart() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last restart().
+    double elapsed() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed.
+    double elapsedMilliseconds() const { return elapsed() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Runs a callable `repetitions` times and reports the minimum, median-ish
+/// (middle sample of the sorted list) and mean wall time. The paper averages
+/// over multiple runs to compensate for fluctuations; harnesses use this.
+struct TimingStats {
+    double minimum = 0.0;
+    double median = 0.0;
+    double mean = 0.0;
+};
+
+template <typename F>
+TimingStats timeRepeated(F&& f, int repetitions) {
+    TimingStats stats;
+    if (repetitions <= 0) return stats;
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repetitions));
+    for (int r = 0; r < repetitions; ++r) {
+        Timer t;
+        f();
+        samples.push_back(t.elapsed());
+    }
+    std::sort(samples.begin(), samples.end());
+    stats.minimum = samples.front();
+    stats.median = samples[samples.size() / 2];
+    double total = 0.0;
+    for (double s : samples) total += s;
+    stats.mean = total / static_cast<double>(samples.size());
+    return stats;
+}
+
+/// Human-readable duration, e.g. "1.24 s" or "310 ms".
+std::string formatDuration(double seconds);
+
+} // namespace grapr

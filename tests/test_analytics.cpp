@@ -1,0 +1,319 @@
+// Tests for the analytics extensions: BFS/diameter, degree assortativity,
+// core decomposition, conductance/density/performance measures, and the
+// Holme–Kim clustered scale-free generator.
+
+#include <gtest/gtest.h>
+
+#include "generators/barabasi_albert.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "generators/holme_kim.hpp"
+#include "generators/simple_graphs.hpp"
+#include "graph/distances.hpp"
+#include "graph/graph_tools.hpp"
+#include "quality/clustering_coefficient.hpp"
+#include "quality/conductance.hpp"
+#include "quality/core_decomposition.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+// --- BFS ---------------------------------------------------------------
+
+TEST(Bfs, DistancesOnPath) {
+    Graph g = SimpleGraphs::path(6);
+    Bfs bfs(g);
+    bfs.run(0);
+    for (node v = 0; v < 6; ++v) EXPECT_EQ(bfs.distances()[v], v);
+    EXPECT_EQ(bfs.eccentricity(), 5u);
+    EXPECT_EQ(bfs.farthestNode(), 5u);
+    EXPECT_EQ(bfs.reached(), 6u);
+}
+
+TEST(Bfs, UnreachableNodes) {
+    Graph g(4, false);
+    g.addEdge(0, 1);
+    // 2, 3 disconnected.
+    Bfs bfs(g);
+    bfs.run(0);
+    EXPECT_EQ(bfs.distances()[1], 1u);
+    EXPECT_EQ(bfs.distances()[2], Bfs::unreachable);
+    EXPECT_EQ(bfs.reached(), 2u);
+}
+
+TEST(Bfs, MidPathSource) {
+    Graph g = SimpleGraphs::path(7);
+    Bfs bfs(g);
+    bfs.run(3);
+    EXPECT_EQ(bfs.eccentricity(), 3u);
+    EXPECT_EQ(bfs.distances()[0], 3u);
+    EXPECT_EQ(bfs.distances()[6], 3u);
+}
+
+TEST(Bfs, InvalidSourceThrows) {
+    Graph g(2, false);
+    g.removeNode(1);
+    Bfs bfs(g);
+    EXPECT_THROW(bfs.run(1), std::runtime_error);
+}
+
+// --- diameter ----------------------------------------------------------
+
+TEST(Diameter, ExactOnPath) {
+    Graph g = SimpleGraphs::path(100);
+    EXPECT_EQ(approximateDiameter(g), 99u);
+}
+
+TEST(Diameter, CliqueIsOne) {
+    Graph g = SimpleGraphs::clique(10);
+    EXPECT_EQ(approximateDiameter(g), 1u);
+}
+
+TEST(Diameter, CycleLowerBound) {
+    Graph g = SimpleGraphs::cycle(100);
+    // True diameter 50; double sweep finds it exactly on cycles.
+    EXPECT_EQ(approximateDiameter(g), 50u);
+}
+
+TEST(Diameter, SmallWorldIsSmall) {
+    Random::setSeed(150);
+    Graph g = BarabasiAlbertGenerator(10000, 4).generate();
+    const count d = approximateDiameter(g);
+    EXPECT_GE(d, 3u);
+    EXPECT_LE(d, 12u); // log-ish diameter, the "small world" property
+}
+
+TEST(Diameter, EmptyGraph) {
+    Graph g(0, false);
+    EXPECT_EQ(approximateDiameter(g), 0u);
+}
+
+// --- assortativity ------------------------------------------------------
+
+TEST(Assortativity, RegularGraphIsDegenerate) {
+    Graph g = SimpleGraphs::cycle(50); // all degrees equal: no variance
+    EXPECT_DOUBLE_EQ(degreeAssortativity(g), 0.0);
+}
+
+TEST(Assortativity, StarIsMaximallyDisassortative) {
+    Graph g = SimpleGraphs::star(20);
+    EXPECT_LT(degreeAssortativity(g), -0.99);
+}
+
+TEST(Assortativity, PreferentialAttachmentIsDisassortative) {
+    Random::setSeed(151);
+    Graph g = BarabasiAlbertGenerator(5000, 3).generate();
+    EXPECT_LT(degreeAssortativity(g), 0.0);
+}
+
+TEST(Assortativity, InRange) {
+    Random::setSeed(152);
+    Graph g = ErdosRenyiGenerator(500, 0.02).generate();
+    const double r = degreeAssortativity(g);
+    EXPECT_GE(r, -1.0 - 1e-9);
+    EXPECT_LE(r, 1.0 + 1e-9);
+}
+
+// --- core decomposition ---------------------------------------------------
+
+TEST(CoreDecomposition, Clique) {
+    Graph g = SimpleGraphs::clique(6);
+    CoreDecomposition cores(g);
+    cores.run();
+    EXPECT_EQ(cores.degeneracy(), 5u);
+    for (node v = 0; v < 6; ++v) EXPECT_EQ(cores.coreNumbers()[v], 5u);
+    EXPECT_EQ(cores.coreSize(5), 6u);
+    EXPECT_EQ(cores.coreSize(6), 0u);
+}
+
+TEST(CoreDecomposition, StarIsOneCore) {
+    Graph g = SimpleGraphs::star(10);
+    CoreDecomposition cores(g);
+    cores.run();
+    EXPECT_EQ(cores.degeneracy(), 1u);
+    EXPECT_EQ(cores.coreNumbers()[0], 1u); // hub too: removing leaves peels it
+}
+
+TEST(CoreDecomposition, CliqueWithTail) {
+    // K4 with a path hanging off: clique nodes have core 3, path nodes 1.
+    Graph g(7, false);
+    for (node u = 0; u < 4; ++u) {
+        for (node v = u + 1; v < 4; ++v) g.addEdge(u, v);
+    }
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 6);
+    CoreDecomposition cores(g);
+    cores.run();
+    EXPECT_EQ(cores.degeneracy(), 3u);
+    for (node v = 0; v < 4; ++v) EXPECT_EQ(cores.coreNumbers()[v], 3u);
+    for (node v = 4; v < 7; ++v) EXPECT_EQ(cores.coreNumbers()[v], 1u);
+}
+
+TEST(CoreDecomposition, IsolatedNodesAreZeroCore) {
+    Graph g(3, false);
+    g.addEdge(0, 1);
+    CoreDecomposition cores(g);
+    cores.run();
+    EXPECT_EQ(cores.coreNumbers()[2], 0u);
+}
+
+TEST(CoreDecomposition, SelfLoopsIgnored) {
+    Graph g(2, false);
+    g.addEdge(0, 0);
+    g.addEdge(0, 1);
+    CoreDecomposition cores(g);
+    cores.run();
+    EXPECT_EQ(cores.degeneracy(), 1u);
+}
+
+TEST(CoreDecomposition, BaMinimumCoreIsAttachment) {
+    Random::setSeed(153);
+    Graph g = BarabasiAlbertGenerator(2000, 3).generate();
+    CoreDecomposition cores(g);
+    cores.run();
+    // Every BA node enters with `attachment` edges, so the whole graph is
+    // a 3-core.
+    g.forNodes([&](node v) { EXPECT_GE(cores.coreNumbers()[v], 3u); });
+    EXPECT_GE(cores.degeneracy(), 3u);
+}
+
+TEST(CoreDecomposition, RequiresRun) {
+    Graph g(3, false);
+    CoreDecomposition cores(g);
+    EXPECT_THROW(cores.degeneracy(), std::runtime_error);
+}
+
+// --- conductance & friends ----------------------------------------------
+
+namespace {
+
+Graph twoTriangles() {
+    Graph g(6, false);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(3, 5);
+    g.addEdge(2, 3);
+    return g;
+}
+
+Partition twoTrianglesTruth() {
+    Partition p(6);
+    for (node v = 0; v < 6; ++v) p.set(v, v < 3 ? 0 : 1);
+    p.setUpperBound(2);
+    return p;
+}
+
+} // namespace
+
+TEST(Conductance, HandComputedTwoTriangles) {
+    // Each triangle: cut 1, vol 7, rest vol 7 -> conductance 1/7.
+    const Graph g = twoTriangles();
+    const auto phi = communityConductances(twoTrianglesTruth(), g);
+    ASSERT_EQ(phi.size(), 2u);
+    EXPECT_NEAR(phi[0], 1.0 / 7.0, 1e-12);
+    EXPECT_NEAR(phi[1], 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, PerfectSeparationIsZero) {
+    Graph g(4, false);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    Partition p(4);
+    p.set(0, 0); p.set(1, 0); p.set(2, 1); p.set(3, 1);
+    p.setUpperBound(2);
+    const auto phi = communityConductances(p, g);
+    EXPECT_DOUBLE_EQ(phi[0], 0.0);
+    EXPECT_DOUBLE_EQ(phi[1], 0.0);
+}
+
+TEST(Conductance, SummaryAggregates) {
+    const Graph g = twoTriangles();
+    const ConductanceSummary summary =
+        conductanceSummary(twoTrianglesTruth(), g);
+    EXPECT_NEAR(summary.minimum, 1.0 / 7.0, 1e-12);
+    EXPECT_NEAR(summary.maximum, 1.0 / 7.0, 1e-12);
+    EXPECT_NEAR(summary.average, 1.0 / 7.0, 1e-12);
+    EXPECT_NEAR(summary.weightedAverage, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, SingletonsInClique) {
+    Graph g = SimpleGraphs::clique(4);
+    Partition p(4);
+    p.allToSingletons();
+    // Each singleton: cut 3, vol 3 -> conductance 1 (all edges leave).
+    const auto phi = communityConductances(p, g);
+    for (double value : phi) EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(IntraDensity, CliquesAreDense) {
+    const Graph g = twoTriangles();
+    EXPECT_DOUBLE_EQ(averageIntraDensity(twoTrianglesTruth(), g), 1.0);
+}
+
+TEST(IntraDensity, SingletonsSkipped) {
+    Graph g(3, false);
+    g.addEdge(0, 1);
+    Partition p(3);
+    p.set(0, 0); p.set(1, 0); p.set(2, 1); // community 1 has size 1
+    p.setUpperBound(2);
+    EXPECT_DOUBLE_EQ(averageIntraDensity(p, g), 1.0);
+}
+
+TEST(Performance, HandComputed) {
+    // Two triangles + bridge, truth split: intra pairs with edge = 6,
+    // inter pairs = 9, inter edges = 1 -> correct = 6 + 8 = 14 of 15.
+    const Graph g = twoTriangles();
+    EXPECT_NEAR(performanceMeasure(twoTrianglesTruth(), g), 14.0 / 15.0,
+                1e-12);
+}
+
+TEST(Performance, PerfectOnDisjointCliques) {
+    Graph g(6, false);
+    for (node u = 0; u < 3; ++u) {
+        for (node v = u + 1; v < 3; ++v) g.addEdge(u, v);
+    }
+    for (node u = 3; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) g.addEdge(u, v);
+    }
+    Partition p(6);
+    for (node v = 0; v < 6; ++v) p.set(v, v < 3 ? 0 : 1);
+    p.setUpperBound(2);
+    EXPECT_DOUBLE_EQ(performanceMeasure(p, g), 1.0);
+}
+
+// --- Holme-Kim generator --------------------------------------------------
+
+TEST(HolmeKim, SizeAndConnectivity) {
+    Random::setSeed(154);
+    Graph g = HolmeKimGenerator(3000, 4, 0.5).generate();
+    EXPECT_EQ(g.numberOfNodes(), 3000u);
+    EXPECT_GE(GraphTools::degreeStatistics(g).minimum, 1u);
+    g.checkConsistency();
+}
+
+TEST(HolmeKim, TriadsRaiseClustering) {
+    Random::setSeed(155);
+    Graph plain = HolmeKimGenerator(4000, 4, 0.0).generate();
+    Random::setSeed(155);
+    Graph clustered = HolmeKimGenerator(4000, 4, 0.9).generate();
+    const double lccPlain = ClusteringCoefficient::averageLocal(plain);
+    const double lccClustered =
+        ClusteringCoefficient::averageLocal(clustered);
+    EXPECT_GT(lccClustered, 2.0 * lccPlain);
+}
+
+TEST(HolmeKim, ZeroTriadMatchesBaShape) {
+    Random::setSeed(156);
+    Graph g = HolmeKimGenerator(2000, 3, 0.0).generate();
+    // Scale-free signature: hubs far above the attachment count.
+    EXPECT_GT(GraphTools::degreeStatistics(g).maximum, 30u);
+}
+
+TEST(HolmeKim, RejectsBadParameters) {
+    EXPECT_THROW(HolmeKimGenerator(10, 0, 0.5), std::runtime_error);
+    EXPECT_THROW(HolmeKimGenerator(3, 4, 0.5), std::runtime_error);
+    EXPECT_THROW(HolmeKimGenerator(10, 2, 1.5), std::runtime_error);
+}

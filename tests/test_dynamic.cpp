@@ -1,0 +1,307 @@
+// Tests for DynamicPlp: incremental community maintenance under edge
+// insertions/deletions, agreement with from-scratch recomputation, and
+// the locality of updates.
+
+#include <gtest/gtest.h>
+
+#include "community/dynamic_plp.hpp"
+#include "community/plp.hpp"
+#include "generators/planted_partition.hpp"
+#include "generators/simple_graphs.hpp"
+#include "quality/modularity.hpp"
+#include "quality/partition_similarity.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+TEST(DynamicPlp, InitialRunMatchesPlpQuality) {
+    Random::setSeed(160);
+    Graph g = SimpleGraphs::cliqueChain(8, 8);
+    DynamicPlp dynamic;
+    dynamic.run(g);
+    EXPECT_EQ(dynamic.communities().numberOfSubsets(), 8u);
+}
+
+TEST(DynamicPlp, RequiresRunBeforeUpdates) {
+    Graph g(4, false);
+    g.addEdge(0, 1);
+    DynamicPlp dynamic;
+    EXPECT_THROW(dynamic.onEdgeInsert(g, 0, 1), std::runtime_error);
+}
+
+TEST(DynamicPlp, InsertionMergesSeparatedCliques) {
+    // Two cliques, no bridge: separate communities. Then densely connect
+    // them: they must merge under dynamic updates.
+    Random::setSeed(161);
+    Graph g(12, false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(u + 6, v + 6);
+        }
+    }
+    DynamicPlp dynamic;
+    dynamic.run(g);
+    EXPECT_NE(dynamic.communities()[0], dynamic.communities()[6]);
+
+    dynamic.autoUpdate(false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = 6; v < 12; ++v) {
+            g.addEdge(u, v);
+            dynamic.onEdgeInsert(g, u, v);
+        }
+    }
+    dynamic.update(g);
+    // Now a 12-clique-ish graph: one community.
+    EXPECT_EQ(dynamic.communities()[0], dynamic.communities()[6]);
+}
+
+TEST(DynamicPlp, DeletionSplitsBridgedCliques) {
+    Random::setSeed(162);
+    Graph g = SimpleGraphs::cliqueChain(2, 8); // bridge 7-8
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    g.removeEdge(7, 8);
+    dynamic.onEdgeRemove(g, 7, 8);
+    EXPECT_NE(dynamic.communities()[0], dynamic.communities()[8]);
+    // Cliques internally intact.
+    for (node v = 1; v < 8; ++v) {
+        EXPECT_EQ(dynamic.communities()[v], dynamic.communities()[0]);
+    }
+}
+
+TEST(DynamicPlp, TracksFromScratchQualityUnderChurn) {
+    Random::setSeed(163);
+    PlantedPartitionGenerator gen(600, 6, 0.25, 0.005);
+    Graph g = gen.generate();
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    // Random churn: insert and remove edges, notifying the detector.
+    dynamic.autoUpdate(false);
+    for (int step = 0; step < 200; ++step) {
+        const node u = static_cast<node>(Random::integer(600));
+        const node v = static_cast<node>(Random::integer(600));
+        if (u == v) continue;
+        if (g.hasEdge(u, v)) {
+            g.removeEdge(u, v);
+            dynamic.onEdgeRemove(g, u, v);
+        } else {
+            g.addEdge(u, v);
+            dynamic.onEdgeInsert(g, u, v);
+        }
+    }
+    dynamic.update(g);
+
+    Random::setSeed(164);
+    const Partition fromScratch = Plp().run(g);
+    const double qDynamic =
+        Modularity().getQuality(dynamic.communities(), g);
+    const double qScratch = Modularity().getQuality(fromScratch, g);
+    // Incremental maintenance must stay within a few percent of scratch.
+    EXPECT_GT(qDynamic, qScratch - 0.05);
+}
+
+TEST(DynamicPlp, LocalizedUpdateTouchesFewNodes) {
+    Random::setSeed(165);
+    PlantedPartitionGenerator gen(5000, 50, 0.3, 0.001);
+    Graph g = gen.generate();
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    // One intra-community edge insertion: the affected region should be a
+    // vanishing fraction of the graph.
+    node u = 0, v = 1; // same block in the planted layout
+    if (g.hasEdge(u, v)) {
+        g.removeEdge(u, v);
+        dynamic.onEdgeRemove(g, u, v);
+    } else {
+        g.addEdge(u, v);
+        dynamic.onEdgeInsert(g, u, v);
+    }
+    EXPECT_LT(dynamic.lastUpdateWork(), g.numberOfNodes() / 10);
+}
+
+TEST(DynamicPlp, NodeAdditionThenAttachment) {
+    Random::setSeed(166);
+    Graph g = SimpleGraphs::clique(6);
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    const node fresh = g.addNode();
+    dynamic.onNodeAdd(fresh);
+    EXPECT_EQ(dynamic.communities()[fresh], fresh); // own community
+
+    g.addEdge(fresh, 0);
+    g.addEdge(fresh, 1);
+    dynamic.onEdgeInsert(g, fresh, 0);
+    dynamic.onEdgeInsert(g, fresh, 1);
+    // Two links into the clique: it must adopt the clique's label.
+    EXPECT_EQ(dynamic.communities()[fresh], dynamic.communities()[0]);
+}
+
+TEST(DynamicPlp, BatchedUpdatesEquivalentToEager) {
+    Random::setSeed(167);
+    Graph g1 = SimpleGraphs::cliqueChain(4, 6);
+    Graph g2 = g1;
+
+    Random::setSeed(168);
+    DynamicPlp eager;
+    eager.run(g1);
+    Random::setSeed(168);
+    DynamicPlp batched;
+    batched.run(g2);
+    batched.autoUpdate(false);
+
+    // Same structural change on both.
+    auto mutate = [](Graph& g, DynamicPlp& d) {
+        g.addEdge(0, 12);
+        d.onEdgeInsert(g, 0, 12);
+        g.addEdge(1, 13);
+        d.onEdgeInsert(g, 1, 13);
+    };
+    mutate(g1, eager);
+    mutate(g2, batched);
+    batched.update(g2);
+
+    // Both must produce complete, equally sized solutions (the exact
+    // labels may differ through RNG divergence).
+    EXPECT_TRUE(eager.communities().isComplete());
+    EXPECT_TRUE(batched.communities().isComplete());
+    EXPECT_EQ(eager.communities().numberOfSubsets(),
+              batched.communities().numberOfSubsets());
+}
+
+// --- DynamicPlm -----------------------------------------------------------
+
+#include "community/dynamic_plm.hpp"
+#include "community/plm.hpp"
+#include "quality/coverage.hpp"
+
+TEST(DynamicPlm, InitialRunMatchesPlm) {
+    Random::setSeed(210);
+    Graph g = SimpleGraphs::cliqueChain(8, 8);
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    EXPECT_EQ(dynamic.communities().numberOfSubsets(), 8u);
+}
+
+TEST(DynamicPlm, RequiresRun) {
+    Graph g(3, false);
+    g.addEdge(0, 1);
+    DynamicPlm dynamic;
+    EXPECT_THROW(dynamic.onEdgeInsert(g, 0, 1), std::runtime_error);
+}
+
+TEST(DynamicPlm, InsertionMergesCommunities) {
+    Random::setSeed(211);
+    Graph g(12, false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(u + 6, v + 6);
+        }
+    }
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    EXPECT_NE(dynamic.communities()[0], dynamic.communities()[6]);
+
+    dynamic.autoUpdate(false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = 6; v < 12; ++v) {
+            g.addEdge(u, v);
+            dynamic.onEdgeInsert(g, u, v);
+        }
+    }
+    dynamic.update(g);
+    EXPECT_EQ(dynamic.communities()[0], dynamic.communities()[6]);
+}
+
+TEST(DynamicPlm, DeletionSplitsViaSingletonMoves) {
+    // Remove the bridge, then hollow out one clique: its members must be
+    // able to leave (the split-off move) rather than stay glued to a
+    // community id forever.
+    Random::setSeed(212);
+    Graph g = SimpleGraphs::cliqueChain(2, 6); // bridge 5-6
+    DynamicPlm dynamic;
+    dynamic.run(g);
+
+    g.removeEdge(5, 6);
+    dynamic.onEdgeRemove(g, 5, 6);
+    EXPECT_NE(dynamic.communities()[0], dynamic.communities()[6]);
+
+    // Hollow out clique 2 completely: every node should end up alone.
+    dynamic.autoUpdate(false);
+    for (node u = 6; u < 12; ++u) {
+        for (node v = u + 1; v < 12; ++v) {
+            if (g.hasEdge(u, v)) {
+                g.removeEdge(u, v);
+                dynamic.onEdgeRemove(g, u, v);
+            }
+        }
+    }
+    dynamic.update(g);
+    // Isolated nodes: no two of them share a community with an edge
+    // reason; the partition must still be valid.
+    EXPECT_TRUE(dynamic.communities().isComplete());
+    const double q = Modularity().getQuality(dynamic.communities(), g);
+    EXPECT_GE(q, -0.5);
+}
+
+TEST(DynamicPlm, TracksStaticQualityUnderChurn) {
+    Random::setSeed(213);
+    PlantedPartitionGenerator gen(600, 6, 0.25, 0.005);
+    Graph g = gen.generate();
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    dynamic.autoUpdate(false);
+
+    for (int step = 0; step < 300; ++step) {
+        const node u = static_cast<node>(Random::integer(600));
+        const node v = static_cast<node>(Random::integer(600));
+        if (u == v) continue;
+        if (g.hasEdge(u, v)) {
+            g.removeEdge(u, v);
+            dynamic.onEdgeRemove(g, u, v);
+        } else {
+            g.addEdge(u, v);
+            dynamic.onEdgeInsert(g, u, v);
+        }
+        if (step % 50 == 49) dynamic.update(g);
+    }
+    dynamic.update(g);
+
+    Random::setSeed(214);
+    const Partition fromScratch = Plm().run(g);
+    const double qDynamic =
+        Modularity().getQuality(dynamic.communities(), g);
+    const double qScratch = Modularity().getQuality(fromScratch, g);
+    EXPECT_GT(qDynamic, qScratch - 0.05);
+}
+
+TEST(DynamicPlm, LocalizedWork) {
+    Random::setSeed(215);
+    PlantedPartitionGenerator gen(5000, 50, 0.3, 0.001);
+    Graph g = gen.generate();
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    g.addEdge(0, 1); // may duplicate an edge; Louvain tolerates multi-edges
+    dynamic.onEdgeInsert(g, 0, 1);
+    EXPECT_LT(dynamic.lastUpdateWork(), g.numberOfNodes() / 10);
+}
+
+TEST(DynamicPlm, WeightedUpdates) {
+    Graph g(4, true);
+    g.addEdge(0, 1, 4.0);
+    g.addEdge(2, 3, 4.0);
+    g.addEdge(1, 2, 0.5);
+    Random::setSeed(216);
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    EXPECT_NE(dynamic.communities()[0], dynamic.communities()[2]);
+    // Strengthen the middle edge until the groups merge.
+    g.increaseWeight(1, 2, 20.0);
+    dynamic.onEdgeInsert(g, 1, 2, 20.0);
+    EXPECT_EQ(dynamic.communities()[1], dynamic.communities()[2]);
+}

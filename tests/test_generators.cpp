@@ -1,0 +1,352 @@
+// Generator tests: structural invariants and statistical properties of
+// every generator in src/generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "generators/barabasi_albert.hpp"
+#include "generators/configuration_model.hpp"
+#include "generators/degree_sequence.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "generators/grid.hpp"
+#include "generators/lfr.hpp"
+#include "generators/planted_partition.hpp"
+#include "generators/rmat.hpp"
+#include "generators/simple_graphs.hpp"
+#include "generators/watts_strogatz.hpp"
+#include "graph/graph_tools.hpp"
+#include "quality/connected_components.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+    Random::setSeed(30);
+    const count n = 2000;
+    const double p = 0.01;
+    Graph g = ErdosRenyiGenerator(n, p).generate();
+    const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.numberOfEdges()), expected,
+                4.0 * std::sqrt(expected));
+    EXPECT_EQ(g.numberOfSelfLoops(), 0u);
+    g.checkConsistency();
+}
+
+TEST(ErdosRenyi, ZeroProbabilityGivesEmpty) {
+    Graph g = ErdosRenyiGenerator(100, 0.0).generate();
+    EXPECT_EQ(g.numberOfEdges(), 0u);
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesClique) {
+    Graph g = ErdosRenyiGenerator(30, 1.0).generate();
+    EXPECT_EQ(g.numberOfEdges(), 30u * 29u / 2u);
+}
+
+TEST(ErdosRenyi, SelfLoopsOption) {
+    Random::setSeed(31);
+    Graph g = ErdosRenyiGenerator(500, 1.0, /*selfLoops=*/true).generate();
+    EXPECT_EQ(g.numberOfSelfLoops(), 500u);
+}
+
+TEST(ErdosRenyi, RejectsInvalidProbability) {
+    EXPECT_THROW(ErdosRenyiGenerator(10, 1.5), std::runtime_error);
+}
+
+TEST(PlantedPartition, GroundTruthMatchesBlocks) {
+    Random::setSeed(32);
+    PlantedPartitionGenerator gen(1000, 10, 0.1, 0.001);
+    Graph g = gen.generate();
+    const Partition& truth = gen.groundTruth();
+    EXPECT_EQ(truth.numberOfSubsets(), 10u);
+    const auto sizes = truth.subsetSizes();
+    for (count s : sizes) EXPECT_EQ(s, 100u);
+    g.checkConsistency();
+}
+
+TEST(PlantedPartition, IntraDominatesInter) {
+    Random::setSeed(33);
+    PlantedPartitionGenerator gen(1000, 10, 0.2, 0.001);
+    Graph g = gen.generate();
+    const Partition& truth = gen.groundTruth();
+    count intra = 0, inter = 0;
+    g.forEdges([&](node u, node v, edgeweight) {
+        if (truth[u] == truth[v]) {
+            ++intra;
+        } else {
+            ++inter;
+        }
+    });
+    // Expected intra ~ 10 * C(100,2) * 0.2 = 9900; inter ~ C(1000,2)*0.9*0.001 ~ 450.
+    EXPECT_GT(intra, inter * 10);
+}
+
+TEST(PlantedPartition, EdgeCountNearExpectation) {
+    Random::setSeed(34);
+    const count n = 2000, k = 20;
+    const double pin = 0.05, pout = 0.002;
+    PlantedPartitionGenerator gen(n, k, pin, pout);
+    Graph g = gen.generate();
+    const double groupPairs = static_cast<double>(k) * (100.0 * 99.0 / 2.0);
+    const double crossPairs =
+        static_cast<double>(n) * (n - 1) / 2.0 - groupPairs;
+    const double expected = groupPairs * pin + crossPairs * pout;
+    EXPECT_NEAR(static_cast<double>(g.numberOfEdges()), expected,
+                5.0 * std::sqrt(expected));
+}
+
+TEST(Rmat, SizeAndSimplicity) {
+    Random::setSeed(35);
+    RmatGenerator gen(12, 8);
+    Graph g = gen.generate();
+    EXPECT_EQ(g.upperNodeIdBound(), 1u << 12);
+    EXPECT_EQ(g.numberOfSelfLoops(), 0u);
+    // Dedup keeps it below the sample count.
+    EXPECT_LE(g.numberOfEdges(), (1u << 12) * 8u);
+    EXPECT_GT(g.numberOfEdges(), (1u << 12) * 2u);
+    g.checkConsistency();
+}
+
+TEST(Rmat, SkewedDegreesWithGraph500Params) {
+    Random::setSeed(36);
+    Graph g = RmatGenerator(13, 16, 0.57, 0.19, 0.19, 0.05).generate();
+    const auto stats = GraphTools::degreeStatistics(g);
+    // Hubs should be far above the average — the defining R-MAT property
+    // the paper's load balancing discussion revolves around.
+    EXPECT_GT(static_cast<double>(stats.maximum), 20.0 * stats.average);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+    EXPECT_THROW(RmatGenerator(10, 8, 0.5, 0.5, 0.5, 0.5),
+                 std::runtime_error);
+}
+
+TEST(BarabasiAlbert, DegreesAndConnectivity) {
+    Random::setSeed(37);
+    const count n = 3000, attachment = 4;
+    Graph g = BarabasiAlbertGenerator(n, attachment).generate();
+    EXPECT_EQ(g.numberOfNodes(), n);
+    // m = seed clique + (n - seed) * attachment.
+    const count seed = attachment + 1;
+    EXPECT_EQ(g.numberOfEdges(),
+              seed * (seed - 1) / 2 + (n - seed) * attachment);
+    ConnectedComponents cc(g);
+    cc.run();
+    EXPECT_EQ(cc.numberOfComponents(), 1u);
+    // Preferential attachment: max degree far above attachment.
+    EXPECT_GT(GraphTools::degreeStatistics(g).maximum, 10 * attachment);
+}
+
+TEST(BarabasiAlbert, MinimumDegreeIsAttachment) {
+    Random::setSeed(38);
+    Graph g = BarabasiAlbertGenerator(500, 3).generate();
+    EXPECT_GE(GraphTools::degreeStatistics(g).minimum, 3u);
+}
+
+TEST(WattsStrogatz, LatticeWithoutRewiring) {
+    Graph g = WattsStrogatzGenerator(100, 6, 0.0).generate();
+    EXPECT_EQ(g.numberOfEdges(), 300u);
+    const auto stats = GraphTools::degreeStatistics(g);
+    EXPECT_EQ(stats.minimum, 6u);
+    EXPECT_EQ(stats.maximum, 6u);
+    g.checkConsistency();
+}
+
+TEST(WattsStrogatz, RewiringPreservesEdgeCount) {
+    Random::setSeed(39);
+    Graph g = WattsStrogatzGenerator(500, 8, 0.3).generate();
+    EXPECT_EQ(g.numberOfEdges(), 2000u);
+    EXPECT_EQ(g.numberOfSelfLoops(), 0u);
+    g.checkConsistency();
+}
+
+TEST(WattsStrogatz, RejectsOddK) {
+    EXPECT_THROW(WattsStrogatzGenerator(10, 3, 0.1), std::runtime_error);
+}
+
+TEST(Grid, PlainLattice) {
+    Graph g = GridGenerator(10, 20).generate();
+    EXPECT_EQ(g.numberOfNodes(), 200u);
+    // 10*19 horizontal + 9*20 vertical.
+    EXPECT_EQ(g.numberOfEdges(), 10u * 19u + 9u * 20u);
+    const auto stats = GraphTools::degreeStatistics(g);
+    EXPECT_EQ(stats.minimum, 2u); // corners
+    EXPECT_EQ(stats.maximum, 4u);
+    ConnectedComponents cc(g);
+    cc.run();
+    EXPECT_EQ(cc.numberOfComponents(), 1u);
+}
+
+TEST(Grid, ChordsIncreaseMaxDegree) {
+    Random::setSeed(40);
+    Graph plain = GridGenerator(50, 50).generate();
+    Graph chords = GridGenerator(50, 50, 0.0, 0.5).generate();
+    EXPECT_GT(chords.numberOfEdges(), plain.numberOfEdges());
+    chords.checkConsistency();
+}
+
+TEST(DegreeSequence, PowerLawBoundsAndParity) {
+    Random::setSeed(41);
+    const auto degrees = powerLawDegreeSequence(1001, 2, 50, 2.5);
+    EXPECT_EQ(degrees.size(), 1001u);
+    count total = 0;
+    for (count d : degrees) {
+        EXPECT_GE(d, 2u);
+        EXPECT_LE(d, 51u); // +1 allowed by the parity bump
+        total += d;
+    }
+    EXPECT_EQ(total % 2, 0u);
+}
+
+TEST(DegreeSequence, ErdosGallaiAcceptsRealizable) {
+    EXPECT_TRUE(isGraphicalSequence({3, 3, 3, 3})); // K4
+    EXPECT_TRUE(isGraphicalSequence({2, 2, 2}));    // triangle
+    EXPECT_TRUE(isGraphicalSequence({1, 1}));
+    EXPECT_TRUE(isGraphicalSequence({0, 0, 0}));
+}
+
+TEST(DegreeSequence, ErdosGallaiRejectsImpossible) {
+    EXPECT_FALSE(isGraphicalSequence({3, 1}));       // odd sum
+    EXPECT_FALSE(isGraphicalSequence({4, 1, 1}));    // degree > n-1 usage
+    EXPECT_FALSE(isGraphicalSequence({3, 3, 1, 1})); // classic non-graphical
+}
+
+TEST(DegreeSequence, GeneratedSequencesAreGraphical) {
+    Random::setSeed(42);
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto degrees = powerLawDegreeSequence(500, 2, 40, 2.2);
+        EXPECT_TRUE(isGraphicalSequence(degrees));
+    }
+}
+
+TEST(CommunitySizes, CoverExactlyN) {
+    Random::setSeed(43);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto sizes = powerLawCommunitySizes(5000, 20, 200, 1.5);
+        const count total =
+            std::accumulate(sizes.begin(), sizes.end(), count{0});
+        EXPECT_EQ(total, 5000u);
+        for (count s : sizes) EXPECT_GE(s, 1u);
+    }
+}
+
+TEST(ConfigurationModel, DegreesApproximatelyPreserved) {
+    Random::setSeed(44);
+    std::vector<count> degrees(400, 6);
+    Graph g = ConfigurationModelGenerator(degrees).generate();
+    // Erased model loses a few stubs to loops/duplicates; most survive.
+    EXPECT_GT(g.numberOfEdges(), 400u * 6u / 2u * 9 / 10);
+    const auto stats = GraphTools::degreeStatistics(g);
+    EXPECT_LE(stats.maximum, 6u);
+    g.checkConsistency();
+}
+
+TEST(ConfigurationModel, RejectsOddSum) {
+    EXPECT_THROW(ConfigurationModelGenerator({3, 2, 2}), std::runtime_error);
+}
+
+TEST(Lfr, BasicInvariants) {
+    Random::setSeed(45);
+    LfrParameters params;
+    params.n = 3000;
+    params.mu = 0.25;
+    LfrGenerator gen(params);
+    Graph g = gen.generate();
+    EXPECT_EQ(g.numberOfNodes(), params.n);
+    EXPECT_TRUE(gen.groundTruth().isComplete());
+    g.checkConsistency();
+    // Community sizes within the requested bounds (up to fold-in slack).
+    const auto sizes = gen.groundTruth().subsetSizes();
+    count covered = 0;
+    for (count s : sizes) covered += s;
+    EXPECT_EQ(covered, params.n);
+}
+
+TEST(Lfr, RealizedMuTracksRequested) {
+    Random::setSeed(46);
+    for (double mu : {0.1, 0.3, 0.5}) {
+        LfrParameters params;
+        params.n = 4000;
+        params.mu = mu;
+        LfrGenerator gen(params);
+        (void)gen.generate();
+        EXPECT_NEAR(gen.realizedMu(), mu, 0.08)
+            << "requested mu=" << mu;
+    }
+}
+
+TEST(Lfr, HigherMuMeansMoreCrossEdges) {
+    Random::setSeed(47);
+    auto crossFraction = [](double mu) {
+        LfrParameters params;
+        params.n = 2000;
+        params.mu = mu;
+        LfrGenerator gen(params);
+        (void)gen.generate();
+        return gen.realizedMu();
+    };
+    EXPECT_LT(crossFraction(0.1), crossFraction(0.6));
+}
+
+TEST(Lfr, DegreesWithinBounds) {
+    Random::setSeed(48);
+    LfrParameters params;
+    params.n = 2000;
+    params.minDegree = 5;
+    params.maxDegree = 30;
+    LfrGenerator gen(params);
+    Graph g = gen.generate();
+    const auto stats = GraphTools::degreeStatistics(g);
+    // Erased configuration model can only lose edges.
+    EXPECT_LE(stats.maximum, 31u);
+}
+
+TEST(SimpleGraphs, Clique) {
+    Graph g = SimpleGraphs::clique(6);
+    EXPECT_EQ(g.numberOfEdges(), 15u);
+    EXPECT_EQ(GraphTools::degreeStatistics(g).minimum, 5u);
+}
+
+TEST(SimpleGraphs, StarPathCycle) {
+    EXPECT_EQ(SimpleGraphs::star(10).numberOfEdges(), 9u);
+    EXPECT_EQ(SimpleGraphs::star(10).degree(0), 9u);
+    EXPECT_EQ(SimpleGraphs::path(10).numberOfEdges(), 9u);
+    EXPECT_EQ(SimpleGraphs::cycle(10).numberOfEdges(), 10u);
+}
+
+TEST(SimpleGraphs, CliqueChainShape) {
+    Graph g = SimpleGraphs::cliqueChain(4, 5);
+    EXPECT_EQ(g.numberOfNodes(), 20u);
+    EXPECT_EQ(g.numberOfEdges(), 4u * 10u + 3u); // 4 cliques + 3 bridges
+    ConnectedComponents cc(g);
+    cc.run();
+    EXPECT_EQ(cc.numberOfComponents(), 1u);
+    const Partition truth = SimpleGraphs::cliqueChainTruth(4, 5);
+    EXPECT_EQ(truth.numberOfSubsets(), 4u);
+}
+
+TEST(SimpleGraphs, KarateClub) {
+    Graph g = SimpleGraphs::karateClub();
+    EXPECT_EQ(g.numberOfNodes(), 34u);
+    EXPECT_EQ(g.numberOfEdges(), 78u);
+    EXPECT_EQ(g.degree(33), 17u); // the instructor
+    EXPECT_EQ(g.degree(0), 16u);  // the administrator
+    const Partition factions = SimpleGraphs::karateFactions();
+    EXPECT_EQ(factions.numberOfSubsets(), 2u);
+    g.checkConsistency();
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+    Random::setSeed(49);
+    Graph a = ErdosRenyiGenerator(300, 0.05).generate();
+    Random::setSeed(49);
+    Graph b = ErdosRenyiGenerator(300, 0.05).generate();
+    EXPECT_TRUE(a.structurallyEquals(b));
+
+    Random::setSeed(50);
+    Graph c = RmatGenerator(10, 8).generate();
+    Random::setSeed(50);
+    Graph d = RmatGenerator(10, 8).generate();
+    EXPECT_TRUE(c.structurallyEquals(d));
+}

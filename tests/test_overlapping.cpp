@@ -1,0 +1,320 @@
+// Tests for the overlapping-communities extension (Cover, OverlappingLpa),
+// local seed expansion, and GML I/O.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "community/local_expansion.hpp"
+#include "community/overlapping_lpa.hpp"
+#include "generators/planted_partition.hpp"
+#include "generators/simple_graphs.hpp"
+#include "io/gml_io.hpp"
+#include "structures/cover.hpp"
+#include "structures/partition.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+// --- Cover ------------------------------------------------------------
+
+TEST(Cover, AddRemoveContains) {
+    Cover cover(5);
+    cover.addToSubset(0, 3);
+    cover.addToSubset(0, 1);
+    cover.addToSubset(0, 3); // duplicate: no-op
+    EXPECT_TRUE(cover.contains(0, 3));
+    EXPECT_TRUE(cover.contains(0, 1));
+    EXPECT_EQ(cover.membershipCount(0), 2u);
+    EXPECT_EQ(cover.subsetsOf(0), (std::vector<node>{1, 3}));
+    cover.removeFromSubset(0, 1);
+    EXPECT_FALSE(cover.contains(0, 1));
+    cover.removeFromSubset(0, 1); // no-op
+    EXPECT_EQ(cover.membershipCount(0), 1u);
+}
+
+TEST(Cover, InSameSubset) {
+    Cover cover(3);
+    cover.addToSubset(0, 7);
+    cover.addToSubset(1, 7);
+    cover.addToSubset(1, 9);
+    cover.addToSubset(2, 9);
+    EXPECT_TRUE(cover.inSameSubset(0, 1));
+    EXPECT_TRUE(cover.inSameSubset(1, 2));
+    EXPECT_FALSE(cover.inSameSubset(0, 2));
+}
+
+TEST(Cover, SubsetsAndSizes) {
+    Cover cover(4);
+    cover.addToSubset(0, 0);
+    cover.addToSubset(1, 0);
+    cover.addToSubset(1, 1);
+    cover.addToSubset(2, 1);
+    EXPECT_EQ(cover.numberOfSubsets(), 2u);
+    const auto subsets = cover.subsets();
+    EXPECT_EQ(subsets.at(0), (std::vector<node>{0, 1}));
+    EXPECT_EQ(subsets.at(1), (std::vector<node>{1, 2}));
+    const auto sizes = cover.subsetSizes();
+    EXPECT_EQ(sizes.at(0), 2u);
+    EXPECT_EQ(sizes.at(1), 2u);
+    EXPECT_NEAR(cover.overlapFraction(), 0.25, 1e-12);
+}
+
+TEST(Cover, CompactRelabels) {
+    Cover cover(2);
+    cover.addToSubset(0, 100);
+    cover.addToSubset(1, 7);
+    cover.addToSubset(1, 100);
+    EXPECT_EQ(cover.compact(), 2u);
+    EXPECT_LT(cover.subsetsOf(1).back(), 2u);
+    EXPECT_TRUE(cover.inSameSubset(0, 1));
+}
+
+TEST(Cover, PartitionRoundTrip) {
+    Partition zeta(4);
+    zeta.set(0, 2);
+    zeta.set(1, 2);
+    zeta.set(3, 0);
+    zeta.setUpperBound(3);
+    const Cover cover = Cover::fromPartition(zeta);
+    EXPECT_EQ(cover.membershipCount(2), 0u); // unassigned stays empty
+    const Partition back = cover.toPartition();
+    for (node v = 0; v < 4; ++v) EXPECT_EQ(back[v], zeta[v]);
+}
+
+TEST(Cover, ToPartitionRejectsOverlap) {
+    Cover cover(2);
+    cover.addToSubset(0, 0);
+    cover.addToSubset(0, 1);
+    EXPECT_THROW(cover.toPartition(), std::runtime_error);
+}
+
+// --- OverlappingLpa -----------------------------------------------------
+
+TEST(OverlappingLpa, DisjointCliquesStayDisjoint) {
+    Random::setSeed(180);
+    Graph g(12, false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(u + 6, v + 6);
+        }
+    }
+    OverlappingLpa lpa;
+    const Cover cover = lpa.run(g);
+    EXPECT_TRUE(cover.inSameSubset(0, 5));
+    EXPECT_TRUE(cover.inSameSubset(6, 11));
+    EXPECT_FALSE(cover.inSameSubset(0, 6));
+}
+
+TEST(OverlappingLpa, BridgeNodeOverlaps) {
+    // Two 6-cliques sharing node 5 (member of both): the shared node
+    // should retain both labels with maxMemberships >= 2.
+    Random::setSeed(181);
+    Graph g(11, false);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) g.addEdge(u, v);
+    }
+    // Second clique on {5, 6, ..., 10}.
+    for (node u = 5; u < 11; ++u) {
+        for (node v = u + 1; v < 11; ++v) g.addEdge(u, v);
+    }
+    OverlappingLpa lpa(OverlappingLpaConfig{.maxMemberships = 2});
+    const Cover cover = lpa.run(g);
+    // The two clique cores are separate communities...
+    EXPECT_FALSE(cover.inSameSubset(0, 10));
+    // ...and the shared node belongs to both cores' communities.
+    EXPECT_TRUE(cover.inSameSubset(5, 0));
+    EXPECT_TRUE(cover.inSameSubset(5, 10));
+    EXPECT_EQ(cover.membershipCount(5), 2u);
+}
+
+TEST(OverlappingLpa, MaxMembershipsOneIsDisjoint) {
+    Random::setSeed(182);
+    Graph g = SimpleGraphs::cliqueChain(5, 8);
+    OverlappingLpa lpa(OverlappingLpaConfig{.maxMemberships = 1});
+    const Cover cover = lpa.run(g);
+    g.forNodes([&](node v) { EXPECT_EQ(cover.membershipCount(v), 1u); });
+    EXPECT_NO_THROW(cover.toPartition());
+}
+
+TEST(OverlappingLpa, PlantedPartitionRecovered) {
+    Random::setSeed(183);
+    PlantedPartitionGenerator gen(400, 8, 0.3, 0.005);
+    Graph g = gen.generate();
+    OverlappingLpa lpa;
+    const Cover cover = lpa.run(g);
+    // Most pairs inside a planted block share a community.
+    count agree = 0, total = 0;
+    for (node v = 0; v < 400; v += 7) {
+        for (node u = v + 1; u < 400; u += 13) {
+            if (gen.groundTruth()[u] != gen.groundTruth()[v]) continue;
+            ++total;
+            if (cover.inSameSubset(u, v)) ++agree;
+        }
+    }
+    EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.8);
+    EXPECT_GT(lpa.iterations(), 0u);
+}
+
+TEST(OverlappingLpa, IsolatedNodesKeepOwnCommunity) {
+    Random::setSeed(184);
+    Graph g(3, false);
+    g.addEdge(0, 1);
+    OverlappingLpa lpa;
+    const Cover cover = lpa.run(g);
+    EXPECT_EQ(cover.membershipCount(2), 1u);
+    EXPECT_FALSE(cover.inSameSubset(2, 0));
+}
+
+// --- LocalExpansion -------------------------------------------------------
+
+TEST(LocalExpansion, FindsSeedClique) {
+    // Two cliques, one bridge: the minimum-conductance set containing the
+    // seed is exactly the seed's clique. (On longer chains the greedy
+    // optimum is a *union* of cliques up to the balanced bottleneck —
+    // conductance normalizes by the smaller side — so two cliques give
+    // the unambiguous case.)
+    Random::setSeed(185);
+    Graph g = SimpleGraphs::cliqueChain(2, 8);
+    const LocalCommunity community = LocalExpansion().expand(g, 3);
+    EXPECT_EQ(community.members.size(), 8u);
+    for (node v : community.members) EXPECT_LT(v, 8u); // first clique only
+    EXPECT_LT(community.conductance, 0.05);
+}
+
+TEST(LocalExpansion, SeedInSecondClique) {
+    Random::setSeed(186);
+    Graph g = SimpleGraphs::cliqueChain(2, 6);
+    const LocalCommunity community = LocalExpansion().expand(g, 10);
+    for (node v : community.members) EXPECT_GE(v, 6u);
+    EXPECT_EQ(community.members.size(), 6u);
+}
+
+TEST(LocalExpansion, ChainPrefixIsCliqueUnion) {
+    // On a 6-clique chain the greedy optimum is a union of whole cliques
+    // containing the seed (the balanced bottleneck); it must never split
+    // a clique.
+    Random::setSeed(189);
+    Graph g = SimpleGraphs::cliqueChain(6, 8);
+    const LocalCommunity community = LocalExpansion().expand(g, 3);
+    EXPECT_EQ(community.members.size() % 8, 0u);
+    EXPECT_LT(community.conductance, 0.02);
+    // The seed's own clique is fully contained.
+    count fromSeedClique = 0;
+    for (node v : community.members) {
+        if (v < 8) ++fromSeedClique;
+    }
+    EXPECT_EQ(fromSeedClique, 8u);
+}
+
+TEST(LocalExpansion, IsolatedSeed) {
+    Graph g(3, false);
+    g.addEdge(0, 1);
+    const LocalCommunity community = LocalExpansion().expand(g, 2);
+    EXPECT_EQ(community.members, (std::vector<node>{2}));
+}
+
+TEST(LocalExpansion, RespectsMaxSize) {
+    Random::setSeed(187);
+    Graph g = SimpleGraphs::clique(50);
+    const LocalCommunity community = LocalExpansion(10).expand(g, 0);
+    EXPECT_LE(community.members.size(), 10u);
+}
+
+TEST(LocalExpansion, WholeComponentWhenSeparated) {
+    Graph g(8, false);
+    for (node u = 0; u < 4; ++u) {
+        for (node v = u + 1; v < 4; ++v) g.addEdge(u, v);
+    }
+    g.addEdge(4, 5); // separate component
+    const LocalCommunity community = LocalExpansion().expand(g, 0);
+    EXPECT_EQ(community.members.size(), 4u);
+    EXPECT_DOUBLE_EQ(community.conductance, 0.0);
+}
+
+// --- GML I/O ---------------------------------------------------------------
+
+namespace {
+
+std::filesystem::path gmlTempDir() {
+    const auto stamp =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    auto dir = std::filesystem::temp_directory_path() /
+               ("grapr_gml_" + std::to_string(stamp));
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(GmlIo, RoundTripUnweighted) {
+    const auto dir = gmlTempDir();
+    Random::setSeed(188);
+    Graph g = SimpleGraphs::cliqueChain(3, 4);
+    io::writeGml(g, (dir / "g.gml").string());
+    Graph loaded = io::readGml((dir / "g.gml").string());
+    EXPECT_TRUE(loaded.structurallyEquals(g));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GmlIo, RoundTripWeighted) {
+    const auto dir = gmlTempDir();
+    Graph g(3, true);
+    g.addEdge(0, 1, 2.5);
+    g.addEdge(1, 2, 0.5);
+    io::writeGml(g, (dir / "w.gml").string());
+    Graph loaded = io::readGml((dir / "w.gml").string());
+    EXPECT_TRUE(loaded.isWeighted());
+    EXPECT_TRUE(loaded.structurallyEquals(g));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GmlIo, CommunityAttributeWritten) {
+    const auto dir = gmlTempDir();
+    Graph g(2, false);
+    g.addEdge(0, 1);
+    Partition zeta(2);
+    zeta.set(0, 5);
+    zeta.set(1, 5);
+    zeta.setUpperBound(6);
+    io::writeGml(g, (dir / "c.gml").string(), &zeta);
+    std::ifstream in(dir / "c.gml");
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("community 5"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GmlIo, ReadsForeignFile) {
+    const auto dir = gmlTempDir();
+    {
+        std::ofstream out(dir / "foreign.gml");
+        out << "graph [\n"
+               "  comment \"hand written\"\n"
+               "  node [ id 10 label \"a\" ]\n"
+               "  node [ id 20 label \"b\" ]\n"
+               "  node [ id 30 ]\n"
+               "  edge [ source 10 target 20 ]\n"
+               "  edge [ source 20 target 30 weight 2.0 ]\n"
+               "]\n";
+    }
+    Graph g = io::readGml((dir / "foreign.gml").string());
+    EXPECT_EQ(g.numberOfNodes(), 3u);
+    EXPECT_EQ(g.numberOfEdges(), 2u);
+    EXPECT_TRUE(g.isWeighted());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GmlIo, RejectsUndeclaredEndpoint) {
+    const auto dir = gmlTempDir();
+    {
+        std::ofstream out(dir / "bad.gml");
+        out << "graph [ node [ id 0 ] edge [ source 0 target 99 ] ]\n";
+    }
+    EXPECT_THROW(io::readGml((dir / "bad.gml").string()),
+                 std::runtime_error);
+    std::filesystem::remove_all(dir);
+}

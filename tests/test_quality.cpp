@@ -1,0 +1,322 @@
+// Quality measures: modularity against hand-computed values, coverage,
+// partition similarity, connected components, clustering coefficients,
+// graph profiles, community statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "generators/erdos_renyi.hpp"
+#include "generators/simple_graphs.hpp"
+#include "quality/clustering_coefficient.hpp"
+#include "quality/community_stats.hpp"
+#include "quality/connected_components.hpp"
+#include "quality/coverage.hpp"
+#include "quality/graph_stats.hpp"
+#include "quality/modularity.hpp"
+#include "quality/partition_similarity.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+namespace {
+
+/// Two triangles joined by one edge: 0-1-2 and 3-4-5, bridge 2-3.
+Graph twoTriangles() {
+    Graph g(6, false);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(3, 5);
+    g.addEdge(2, 3);
+    return g;
+}
+
+Partition twoTrianglesTruth() {
+    Partition p(6);
+    for (node v = 0; v < 6; ++v) p.set(v, v < 3 ? 0 : 1);
+    p.setUpperBound(2);
+    return p;
+}
+
+} // namespace
+
+TEST(Modularity, HandComputedTwoTriangles) {
+    // m = 7, each community: intra weight 3, volume 7.
+    // mod = 2*(3/7 - 49/196) = 6/7 - 1/2 = 5/14.
+    const Graph g = twoTriangles();
+    const double q = Modularity().getQuality(twoTrianglesTruth(), g);
+    EXPECT_NEAR(q, 5.0 / 14.0, 1e-12);
+}
+
+TEST(Modularity, AllInOneCommunityIsZero) {
+    const Graph g = twoTriangles();
+    Partition p(6);
+    p.allToOne();
+    EXPECT_NEAR(Modularity().getQuality(p, g), 0.0, 1e-12);
+}
+
+TEST(Modularity, SingletonsAreNegative) {
+    const Graph g = twoTriangles();
+    Partition p(6);
+    p.allToSingletons();
+    // Σ vol² = 6 communities: nodes have volumes (2,2,3,3,2,2) -> wait:
+    // degrees 2,2,3,3,2,2 = volumes. Σ vol²/4m² with m=7.
+    const double expected =
+        0.0 - (4 + 4 + 9 + 9 + 4 + 4) / (4.0 * 49.0);
+    EXPECT_NEAR(Modularity().getQuality(p, g), expected, 1e-12);
+}
+
+TEST(Modularity, SelfLoopHandComputed) {
+    // Single node with a self-loop of weight 2: mod = 2/2 - 16/(4*4) = 0.
+    Graph g(1, true);
+    g.addEdge(0, 0, 2.0);
+    Partition p(1);
+    p.allToOne();
+    EXPECT_NEAR(Modularity().getQuality(p, g), 0.0, 1e-12);
+}
+
+TEST(Modularity, WeightedGraph) {
+    // Two nodes, one edge w=3 in one community: 3/3 - 36/36 = 0; split:
+    // 0 - (9+9)/36 = -0.5.
+    Graph g(2, true);
+    g.addEdge(0, 1, 3.0);
+    Partition together(2);
+    together.allToOne();
+    EXPECT_NEAR(Modularity().getQuality(together, g), 0.0, 1e-12);
+    Partition apart(2);
+    apart.allToSingletons();
+    EXPECT_NEAR(Modularity().getQuality(apart, g), -0.5, 1e-12);
+}
+
+TEST(Modularity, GammaResolutionLimits) {
+    const Graph g = twoTriangles();
+    const Partition truth = twoTrianglesTruth();
+    Partition one(6);
+    one.allToOne();
+    Partition singletons(6);
+    singletons.allToSingletons();
+    // gamma -> 0: the null-model penalty vanishes; all-in-one achieves
+    // maximal coverage and is optimal.
+    EXPECT_GT(Modularity(0.0).getQuality(one, g),
+              Modularity(0.0).getQuality(singletons, g));
+    // Large gamma: penalty dominates; singletons beat all-in-one.
+    EXPECT_GT(Modularity(14.0).getQuality(singletons, g),
+              Modularity(14.0).getQuality(one, g));
+}
+
+TEST(Modularity, DeltaFormulaMatchesRecomputation) {
+    // Moving node 2 from community {0,1,2} to {3,4,5} in twoTriangles:
+    // delta formula must equal the difference of full evaluations.
+    const Graph g = twoTriangles();
+    Partition before = twoTrianglesTruth();
+    Partition after = before;
+    after.set(2, 1);
+    const double qBefore = Modularity().getQuality(before, g);
+    const double qAfter = Modularity().getQuality(after, g);
+
+    // Quantities for the closed form: u=2, C={0,1,2}, D={3,4,5}.
+    const double omegaE = 7.0;
+    const double weightToC = 2.0; // edges 2-0, 2-1
+    const double weightToD = 1.0; // bridge 2-3
+    const double volC = 4.0;      // vol({0,1}) = 2+2
+    const double volD = 7.0;      // vol({3,4,5}) = 3+2+2
+    const double volU = 3.0;
+    const double delta =
+        deltaModularity(omegaE, weightToC, weightToD, volC, volD, volU);
+    EXPECT_NEAR(delta, qAfter - qBefore, 1e-12);
+}
+
+TEST(Modularity, IncompletePartitionThrows) {
+    const Graph g = twoTriangles();
+    Partition p(6); // all unassigned
+    p.setUpperBound(1);
+    EXPECT_THROW(Modularity().getQuality(p, g), std::runtime_error);
+}
+
+TEST(Coverage, HandComputed) {
+    const Graph g = twoTriangles();
+    EXPECT_NEAR(Coverage().getQuality(twoTrianglesTruth(), g), 6.0 / 7.0,
+                1e-12);
+    Partition one(6);
+    one.allToOne();
+    EXPECT_NEAR(Coverage().getQuality(one, g), 1.0, 1e-12);
+    Partition singletons(6);
+    singletons.allToSingletons();
+    EXPECT_NEAR(Coverage().getQuality(singletons, g), 0.0, 1e-12);
+}
+
+TEST(Coverage, SelfLoopIsIntra) {
+    Graph g(2, true);
+    g.addEdge(0, 0, 1.0);
+    g.addEdge(0, 1, 1.0);
+    Partition singletons(2);
+    singletons.allToSingletons();
+    EXPECT_NEAR(Coverage().getQuality(singletons, g), 0.5, 1e-12);
+}
+
+TEST(PairCounts, HandComputed) {
+    // A: {0,1}{2,3}; B: {0,1,2}{3}. n=4, pairs=6.
+    Partition a(4), b(4);
+    a.set(0, 0); a.set(1, 0); a.set(2, 1); a.set(3, 1);
+    b.set(0, 0); b.set(1, 0); b.set(2, 0); b.set(3, 1);
+    const PairCounts c = countPairs(a, b);
+    EXPECT_EQ(c.bothSame, 1u);      // {0,1}
+    EXPECT_EQ(c.firstOnly, 1u);     // {2,3}
+    EXPECT_EQ(c.secondOnly, 2u);    // {0,2},{1,2}
+    EXPECT_EQ(c.bothDifferent, 2u); // {0,3},{1,3}
+}
+
+TEST(Jaccard, IdenticalPartitionsGiveOne) {
+    Partition a(10);
+    for (node v = 0; v < 10; ++v) a.set(v, v % 3);
+    EXPECT_DOUBLE_EQ(jaccardIndex(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(randIndex(a, a), 1.0);
+}
+
+TEST(Jaccard, LabelPermutationInvariant) {
+    Partition a(6), b(6);
+    for (node v = 0; v < 6; ++v) {
+        a.set(v, v / 2);       // {0,1}{2,3}{4,5}
+        b.set(v, 9 - v / 2);   // same grouping, different ids
+    }
+    EXPECT_DOUBLE_EQ(jaccardIndex(a, b), 1.0);
+}
+
+TEST(Jaccard, DisjointGroupings) {
+    // A groups by parity of v/3, B by v%3: no pair agrees in both... use a
+    // case with known value: A={0,1}{2,3}, B={0,2}{1,3}: n11=0.
+    Partition a(4), b(4);
+    a.set(0, 0); a.set(1, 0); a.set(2, 1); a.set(3, 1);
+    b.set(0, 0); b.set(1, 1); b.set(2, 0); b.set(3, 1);
+    EXPECT_DOUBLE_EQ(jaccardIndex(a, b), 0.0);
+    // Rand: n00 = 2 ({0,3},{1,2}), total 6 -> 1/3.
+    EXPECT_NEAR(randIndex(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Jaccard, AllSingletonsBothIsOne) {
+    Partition a(5), b(5);
+    a.allToSingletons();
+    b.allToSingletons();
+    EXPECT_DOUBLE_EQ(jaccardIndex(a, b), 1.0);
+}
+
+TEST(Nmi, IdenticalIsOne) {
+    Partition a(12);
+    for (node v = 0; v < 12; ++v) a.set(v, v % 4);
+    EXPECT_NEAR(normalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentIsNearZero) {
+    // A: halves; B: parity. Perfectly independent on 8 nodes.
+    Partition a(8), b(8);
+    for (node v = 0; v < 8; ++v) {
+        a.set(v, v / 4);
+        b.set(v, v % 2);
+    }
+    EXPECT_NEAR(normalizedMutualInformation(a, b), 0.0, 1e-12);
+}
+
+TEST(Nmi, TrivialPartitionsHandled) {
+    Partition a(5), b(5);
+    a.allToOne();
+    b.allToOne();
+    EXPECT_DOUBLE_EQ(normalizedMutualInformation(a, b), 1.0);
+}
+
+TEST(ConnectedComponents, CountsAndSizes) {
+    Graph g(7, false);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    // 5, 6 isolated.
+    ConnectedComponents cc(g);
+    cc.run();
+    EXPECT_EQ(cc.numberOfComponents(), 4u);
+    EXPECT_EQ(cc.largestComponentSize(), 3u);
+}
+
+TEST(ConnectedComponents, LongPath) {
+    Graph g = SimpleGraphs::path(5000);
+    ConnectedComponents cc(g);
+    cc.run();
+    EXPECT_EQ(cc.numberOfComponents(), 1u);
+}
+
+TEST(ConnectedComponents, RequiresRun) {
+    Graph g(3, false);
+    ConnectedComponents cc(g);
+    EXPECT_THROW(cc.numberOfComponents(), std::runtime_error);
+}
+
+TEST(ClusteringCoefficient, CliqueIsOne) {
+    Graph g = SimpleGraphs::clique(8);
+    EXPECT_NEAR(ClusteringCoefficient::averageLocal(g), 1.0, 1e-12);
+}
+
+TEST(ClusteringCoefficient, StarIsZero) {
+    Graph g = SimpleGraphs::star(10);
+    EXPECT_NEAR(ClusteringCoefficient::averageLocal(g), 0.0, 1e-12);
+}
+
+TEST(ClusteringCoefficient, HandComputedKite) {
+    // Triangle 0-1-2 plus edge 2-3. LCC: 0:1, 1:1, 2:1/3, 3:skip (deg 1).
+    Graph g(4, false);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(2, 3);
+    EXPECT_NEAR(ClusteringCoefficient::averageLocal(g), (1.0 + 1.0 + 1.0 / 3.0) / 3.0,
+                1e-12);
+}
+
+TEST(ClusteringCoefficient, ApproxMatchesExactOnClique) {
+    Random::setSeed(60);
+    Graph g = SimpleGraphs::clique(20);
+    EXPECT_NEAR(ClusteringCoefficient::approxAverageLocal(g, 20000), 1.0,
+                1e-9);
+}
+
+TEST(ClusteringCoefficient, ApproxCloseToExactOnRandomGraph) {
+    Random::setSeed(61);
+    Graph g = ErdosRenyiGenerator(300, 0.1).generate();
+    const double exact = ClusteringCoefficient::averageLocal(g);
+    const double approx =
+        ClusteringCoefficient::approxAverageLocal(g, 200000);
+    EXPECT_NEAR(approx, exact, 0.02);
+}
+
+TEST(GraphProfile, MatchesKnownGraph) {
+    const Graph g = twoTriangles();
+    const GraphProfile p = profileGraph(g);
+    EXPECT_EQ(p.n, 6u);
+    EXPECT_EQ(p.m, 7u);
+    EXPECT_EQ(p.maxDegree, 3u);
+    EXPECT_EQ(p.components, 1u);
+    EXPECT_GT(p.averageLcc, 0.5);
+    const std::string row = formatProfileRow("twoTriangles", p);
+    EXPECT_NE(row.find("twoTriangles"), std::string::npos);
+    EXPECT_NE(row.find("7"), std::string::npos);
+}
+
+TEST(CommunityStats, SizesAndCut) {
+    const Graph g = twoTriangles();
+    const Partition truth = twoTrianglesTruth();
+    const CommunitySizeStats sizes = communitySizeStats(truth);
+    EXPECT_EQ(sizes.communities, 2u);
+    EXPECT_EQ(sizes.smallest, 3u);
+    EXPECT_EQ(sizes.largest, 3u);
+    EXPECT_DOUBLE_EQ(sizes.average, 3.0);
+    EXPECT_DOUBLE_EQ(sizes.median, 3.0);
+    const EdgeCut cut = communityEdgeCut(truth, g);
+    EXPECT_DOUBLE_EQ(cut.intraWeight, 6.0);
+    EXPECT_DOUBLE_EQ(cut.interWeight, 1.0);
+}
+
+TEST(CommunityStats, EmptyPartition) {
+    Partition p(3); // unassigned
+    const CommunitySizeStats stats = communitySizeStats(p);
+    EXPECT_EQ(stats.communities, 0u);
+}

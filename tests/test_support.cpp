@@ -1,0 +1,282 @@
+// Unit tests for the support module: RNG determinism and distributions,
+// parallel primitives, the timestamped sparse accumulator, timers, logging.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "support/common.hpp"
+#include "support/logging.hpp"
+#include "support/parallel.hpp"
+#include "support/progress.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+using namespace grapr;
+
+TEST(SplitMix64, DeterministicSequence) {
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+    SplitMix64 a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() != b()) ++differing;
+    }
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Random, SetSeedReproduces) {
+    Random::setSeed(99);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 32; ++i) first.push_back(Random::integer(1000));
+    Random::setSeed(99);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(Random::integer(1000), first[i]);
+}
+
+TEST(Random, IntegerRespectsBound) {
+    Random::setSeed(1);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(Random::integer(17), 17u);
+    }
+}
+
+TEST(Random, IntegerBoundOneIsZero) {
+    Random::setSeed(1);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(Random::integer(1), 0u);
+}
+
+TEST(Random, IntegerInclusiveRange) {
+    Random::setSeed(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = Random::integer(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all three values hit
+}
+
+TEST(Random, RealInUnitInterval) {
+    Random::setSeed(2);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double r = Random::real();
+        ASSERT_GE(r, 0.0);
+        ASSERT_LT(r, 1.0);
+        sum += r;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes) {
+    Random::setSeed(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(Random::chance(0.0));
+        EXPECT_TRUE(Random::chance(1.0));
+    }
+}
+
+TEST(Random, GeometricSkipMatchesExpectation) {
+    Random::setSeed(4);
+    const double p = 0.1;
+    double total = 0.0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        total += static_cast<double>(Random::geometricSkip(p));
+    }
+    // E[failures before success] = (1-p)/p = 9.
+    EXPECT_NEAR(total / samples, 9.0, 0.3);
+}
+
+TEST(Random, GeometricSkipDegenerate) {
+    Random::setSeed(4);
+    EXPECT_EQ(Random::geometricSkip(1.0), 0u);
+    EXPECT_EQ(Random::geometricSkip(0.0), std::numeric_limits<count>::max());
+}
+
+TEST(Random, ShufflePermutes) {
+    Random::setSeed(6);
+    std::vector<int> values(100);
+    std::iota(values.begin(), values.end(), 0);
+    auto shuffled = values;
+    Random::shuffle(shuffled.begin(), shuffled.end());
+    EXPECT_NE(shuffled, values); // astronomically unlikely to be identity
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(PowerLawSampler, RespectsBounds) {
+    Random::setSeed(7);
+    PowerLawSampler sampler(3, 50, 2.5);
+    for (int i = 0; i < 5000; ++i) {
+        const count v = sampler.sample();
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 50u);
+    }
+}
+
+TEST(PowerLawSampler, HeavyHead) {
+    Random::setSeed(8);
+    PowerLawSampler sampler(1, 1000, 2.5);
+    count atMinimum = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        if (sampler.sample() == 1) ++atMinimum;
+    }
+    // For gamma=2.5 the mass at k=1 is about 1/zeta(2.5) ~ 0.745.
+    EXPECT_NEAR(static_cast<double>(atMinimum) / samples, 0.745, 0.03);
+}
+
+TEST(PowerLawSampler, MeanMatchesEmpirical) {
+    Random::setSeed(9);
+    PowerLawSampler sampler(2, 100, 2.0);
+    double total = 0.0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        total += static_cast<double>(sampler.sample());
+    }
+    EXPECT_NEAR(total / samples, sampler.mean(), 0.15);
+}
+
+TEST(PowerLawSampler, RejectsInvalidBounds) {
+    EXPECT_THROW(PowerLawSampler(0, 5, 2.0), std::runtime_error);
+    EXPECT_THROW(PowerLawSampler(6, 5, 2.0), std::runtime_error);
+}
+
+TEST(ParallelPrefixSum, SmallSequential) {
+    std::vector<count> values = {3, 1, 4, 1, 5};
+    const count total = Parallel::prefixSum(values);
+    EXPECT_EQ(total, 14u);
+    EXPECT_EQ(values, (std::vector<count>{0, 3, 4, 8, 9}));
+}
+
+TEST(ParallelPrefixSum, Empty) {
+    std::vector<count> values;
+    EXPECT_EQ(Parallel::prefixSum(values), 0u);
+}
+
+TEST(ParallelPrefixSum, LargeMatchesSequentialOracle) {
+    Random::setSeed(10);
+    std::vector<count> values(1 << 17);
+    for (auto& v : values) v = Random::integer(10);
+    std::vector<count> oracle = values;
+    count running = 0;
+    for (auto& v : oracle) {
+        const count x = v;
+        v = running;
+        running += x;
+    }
+    EXPECT_EQ(Parallel::prefixSum(values), running);
+    EXPECT_EQ(values, oracle);
+}
+
+TEST(ParallelSum, MatchesStdAccumulate) {
+    std::vector<double> values(12345);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = static_cast<double>(i % 7) * 0.5;
+    }
+    const double expected =
+        std::accumulate(values.begin(), values.end(), 0.0);
+    EXPECT_NEAR(Parallel::sum(values), expected, 1e-9);
+}
+
+TEST(ParallelMax, FindsMaximum) {
+    std::vector<count> values = {5, 2, 9, 3, 9, 1};
+    EXPECT_EQ(Parallel::max(values), 9u);
+    values.clear();
+    EXPECT_EQ(Parallel::max(values), 0u);
+}
+
+TEST(SparseAccumulator, AccumulatesAndClears) {
+    SparseAccumulator acc(10);
+    acc.add(3, 1.5);
+    acc.add(3, 2.5);
+    acc.add(7, 1.0);
+    EXPECT_DOUBLE_EQ(acc[3], 4.0);
+    EXPECT_DOUBLE_EQ(acc[7], 1.0);
+    EXPECT_DOUBLE_EQ(acc[0], 0.0);
+    EXPECT_EQ(acc.touched().size(), 2u);
+    acc.clear();
+    EXPECT_DOUBLE_EQ(acc[3], 0.0);
+    EXPECT_TRUE(acc.touched().empty());
+    acc.add(3, 1.0);
+    EXPECT_DOUBLE_EQ(acc[3], 1.0); // stale value from before clear is gone
+}
+
+TEST(SparseAccumulator, TouchedOrderIsFirstTouch) {
+    SparseAccumulator acc(5);
+    acc.add(4, 1);
+    acc.add(1, 1);
+    acc.add(4, 1);
+    acc.add(2, 1);
+    EXPECT_EQ(acc.touched(), (std::vector<grapr::index>{4, 1, 2}));
+}
+
+TEST(SparseAccumulator, SurvivesManyGenerations) {
+    SparseAccumulator acc(4);
+    for (int g = 0; g < 10000; ++g) {
+        acc.add(g % 4, 1.0);
+        EXPECT_DOUBLE_EQ(acc[g % 4], 1.0);
+        acc.clear();
+    }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(t.elapsed(), 0.015);
+    EXPECT_LT(t.elapsed(), 5.0);
+}
+
+TEST(Timer, RestartResets) {
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    t.restart();
+    EXPECT_LT(t.elapsed(), 0.010);
+}
+
+TEST(TimeRepeated, CollectsStats) {
+    const TimingStats stats = timeRepeated([] {}, 5);
+    EXPECT_GE(stats.median, stats.minimum);
+    EXPECT_GE(stats.mean, 0.0);
+}
+
+TEST(FormatDuration, PicksUnits) {
+    EXPECT_NE(formatDuration(0.0000005).find("us"), std::string::npos);
+    EXPECT_NE(formatDuration(0.005).find("ms"), std::string::npos);
+    EXPECT_NE(formatDuration(2.5).find(" s"), std::string::npos);
+    EXPECT_NE(formatDuration(300.0).find("min"), std::string::npos);
+}
+
+TEST(Logging, LevelRoundTrip) {
+    EXPECT_EQ(Log::parseLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(Log::parseLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(Log::parseLevel("nonsense"), LogLevel::Off);
+    const LogLevel before = Log::level();
+    Log::setLevel(LogLevel::Error);
+    EXPECT_EQ(Log::level(), LogLevel::Error);
+    Log::setLevel(before);
+}
+
+TEST(IterationTracer, RecordsAndClears) {
+    IterationTracer tracer;
+    tracer.record(1, 100, 40);
+    tracer.record(2, 60, 10);
+    ASSERT_EQ(tracer.records().size(), 2u);
+    EXPECT_EQ(tracer.records()[1].updated, 10u);
+    tracer.clear();
+    EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Require, ThrowsOnViolation) {
+    EXPECT_THROW(require(false, "boom"), std::runtime_error);
+    EXPECT_NO_THROW(require(true, "fine"));
+}

@@ -1,0 +1,360 @@
+// grapr — command-line interface to the community detection framework.
+//
+//   grapr generate --type lfr --n 100000 --mu 0.3 --out g.grpr
+//   grapr detect   --algo PLM --in g.grpr --out communities.txt
+//   grapr stats    --in g.grpr
+//   grapr compare  --a communities.txt --b truth.txt [--graph g.grpr]
+//   grapr convert  --in g.metis --out g.tsv
+//
+// Graph formats are inferred from the extension: .metis/.graph (METIS),
+// .grpr (grapr binary), anything else is read/written as a whitespace
+// edge list. The tool is the scripting surface of the library — the
+// paper's "interactive data analysis workflow" driven from a shell.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grapr.hpp"
+#include "generators/holme_kim.hpp"
+#include "graph/distances.hpp"
+#include "quality/conductance.hpp"
+#include "quality/core_decomposition.hpp"
+#include "community/local_expansion.hpp"
+#include "community/overlapping_lpa.hpp"
+
+using namespace grapr;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+    if (error) std::fprintf(stderr, "error: %s\n\n", error);
+    std::fprintf(stderr,
+        "usage: grapr <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  generate  --type lfr|rmat|ba|hk|er|pp|ws|grid --out FILE\n"
+        "            [--n N] [--mu F] [--scale S] [--edge-factor K]\n"
+        "            [--attachment K] [--p F] [--groups K] [--pin F]\n"
+        "            [--pout F] [--seed N]\n"
+        "  detect    --algo NAME --in FILE [--out FILE] [--seed N]\n"
+        "            [--threads N] [--gamma F]\n"
+        "            (NAME: PLP PLM PLMR 'EPP(4,PLP,PLM)' Louvain RG\n"
+        "             CGGC CGGCi CLU_TBB CEL ...)\n"
+        "  stats     --in FILE [--diameter] [--cores]\n"
+        "  local     --in FILE --seed NODE [--max-size N]\n"
+        "  overlap   --in FILE [--memberships V] [--out FILE]\n"
+        "  compare   --a PARTFILE --b PARTFILE [--graph FILE]\n"
+        "  convert   --in FILE --out FILE\n");
+    std::exit(2);
+}
+
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) usage("expected --option");
+            key = key.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "1"; // boolean flag
+            }
+        }
+    }
+
+    bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+    std::string str(const std::string& key,
+                    const std::string& fallback = "") const {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::string required(const std::string& key) const {
+        if (!has(key)) usage(("missing --" + key).c_str());
+        return values_.at(key);
+    }
+
+    double real(const std::string& key, double fallback) const {
+        return has(key) ? std::strtod(values_.at(key).c_str(), nullptr)
+                        : fallback;
+    }
+
+    count integer(const std::string& key, count fallback) const {
+        return has(key)
+                   ? std::strtoull(values_.at(key).c_str(), nullptr, 10)
+                   : fallback;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Graph loadGraph(const std::string& path) {
+    if (endsWith(path, ".metis") || endsWith(path, ".graph")) {
+        return io::readMetis(path);
+    }
+    if (endsWith(path, ".grpr")) return io::readBinary(path);
+    return io::readEdgeList(path);
+}
+
+void saveGraph(const Graph& g, const std::string& path) {
+    if (endsWith(path, ".metis") || endsWith(path, ".graph")) {
+        io::writeMetis(g, path);
+    } else if (endsWith(path, ".grpr")) {
+        io::writeBinary(g, path);
+    } else if (endsWith(path, ".dot")) {
+        io::writeDot(g, path);
+    } else {
+        io::writeEdgeList(g, path, g.isWeighted());
+    }
+}
+
+int commandGenerate(const Args& args) {
+    Random::setSeed(args.integer("seed", 42));
+    const std::string type = args.required("type");
+    const std::string out = args.required("out");
+    const count n = args.integer("n", 100000);
+
+    Graph g = [&]() -> Graph {
+        if (type == "lfr") {
+            LfrParameters params;
+            params.n = n;
+            params.mu = args.real("mu", 0.3);
+            params.minDegree = args.integer("min-degree", 8);
+            params.maxDegree = args.integer("max-degree", 50);
+            params.minCommunitySize = args.integer("min-community", 20);
+            params.maxCommunitySize = args.integer("max-community", 100);
+            LfrGenerator generator(params);
+            Graph graph = generator.generate();
+            if (args.has("truth")) {
+                io::writePartition(generator.groundTruth(),
+                                   args.str("truth"));
+                std::printf("ground truth -> %s\n",
+                            args.str("truth").c_str());
+            }
+            return graph;
+        }
+        if (type == "rmat") {
+            return RmatGenerator(args.integer("scale", 16),
+                                 args.integer("edge-factor", 16))
+                .generate();
+        }
+        if (type == "ba") {
+            return BarabasiAlbertGenerator(n, args.integer("attachment", 4))
+                .generate();
+        }
+        if (type == "hk") {
+            return HolmeKimGenerator(n, args.integer("attachment", 4),
+                                     args.real("triad", 0.5))
+                .generate();
+        }
+        if (type == "er") {
+            return ErdosRenyiGenerator(n, args.real("p", 0.0001)).generate();
+        }
+        if (type == "pp") {
+            return PlantedPartitionGenerator(n, args.integer("groups", 100),
+                                             args.real("pin", 0.05),
+                                             args.real("pout", 0.0005))
+                .generate();
+        }
+        if (type == "ws") {
+            return WattsStrogatzGenerator(n, args.integer("k", 8),
+                                          args.real("beta", 0.1))
+                .generate();
+        }
+        if (type == "grid") {
+            const count rows = args.integer("rows", 100);
+            return GridGenerator(rows, n / rows).generate();
+        }
+        usage("unknown --type");
+    }();
+
+    saveGraph(g, out);
+    std::printf("generated %s: n=%llu m=%llu -> %s\n", type.c_str(),
+                static_cast<unsigned long long>(g.numberOfNodes()),
+                static_cast<unsigned long long>(g.numberOfEdges()),
+                out.c_str());
+    return 0;
+}
+
+int commandDetect(const Args& args) {
+    Random::setSeed(args.integer("seed", 42));
+    if (args.has("threads")) {
+        Parallel::setThreads(static_cast<int>(args.integer("threads", 1)));
+    }
+    const std::string algorithmName = args.str("algo", "PLM");
+    Graph g = loadGraph(args.required("in"));
+    std::printf("graph: n=%llu m=%llu\n",
+                static_cast<unsigned long long>(g.numberOfNodes()),
+                static_cast<unsigned long long>(g.numberOfEdges()));
+
+    auto detector = [&]() -> std::unique_ptr<CommunityDetector> {
+        if (args.has("gamma")) {
+            const double gamma = args.real("gamma", 1.0);
+            if (algorithmName == "PLM") {
+                return std::make_unique<Plm>(PlmConfig{.gamma = gamma});
+            }
+            if (algorithmName == "PLMR") {
+                return std::make_unique<Plmr>(gamma);
+            }
+        }
+        return makeDetector(algorithmName);
+    }();
+
+    Timer timer;
+    Partition zeta = detector->run(g);
+    const double seconds = timer.elapsed();
+    const double q = Modularity().getQuality(zeta, g);
+    const CommunitySizeStats stats = communitySizeStats(zeta);
+    std::printf("%s: %llu communities, modularity %.4f, %s "
+                "(%.0f edges/s)\n",
+                detector->toString().c_str(),
+                static_cast<unsigned long long>(stats.communities), q,
+                formatDuration(seconds).c_str(),
+                static_cast<double>(g.numberOfEdges()) / seconds);
+    if (args.has("out")) {
+        io::writePartition(zeta, args.str("out"));
+        std::printf("solution -> %s\n", args.str("out").c_str());
+    }
+    return 0;
+}
+
+int commandStats(const Args& args) {
+    Graph g = loadGraph(args.required("in"));
+    const GraphProfile profile =
+        profileGraph(g, g.numberOfEdges() > 2000000 ? 1000000 : 0);
+    std::printf("n               %llu\n",
+                static_cast<unsigned long long>(profile.n));
+    std::printf("m               %llu\n",
+                static_cast<unsigned long long>(profile.m));
+    std::printf("max degree      %llu\n",
+                static_cast<unsigned long long>(profile.maxDegree));
+    std::printf("avg degree      %.2f\n", profile.averageDegree);
+    std::printf("components      %llu\n",
+                static_cast<unsigned long long>(profile.components));
+    std::printf("avg local CC    %.4f\n", profile.averageLcc);
+    std::printf("assortativity   %+.4f\n", degreeAssortativity(g));
+    if (args.has("diameter")) {
+        std::printf("diameter (>=)   %llu\n",
+                    static_cast<unsigned long long>(approximateDiameter(g)));
+    }
+    if (args.has("cores")) {
+        CoreDecomposition cores(g);
+        cores.run();
+        std::printf("degeneracy      %llu\n",
+                    static_cast<unsigned long long>(cores.degeneracy()));
+    }
+    return 0;
+}
+
+int commandLocal(const Args& args) {
+    Random::setSeed(args.integer("seed-rng", 42));
+    Graph g = loadGraph(args.required("in"));
+    const node seed = static_cast<node>(args.integer("seed", 0));
+    LocalExpansion expansion(args.integer("max-size", 1000));
+    Timer timer;
+    const LocalCommunity community = expansion.expand(g, seed);
+    std::printf("community of node %llu: %zu members, conductance %.4f "
+                "(%s)\n",
+                static_cast<unsigned long long>(seed),
+                community.members.size(), community.conductance,
+                formatDuration(timer.elapsed()).c_str());
+    for (std::size_t i = 0; i < community.members.size() && i < 50; ++i) {
+        std::printf("%llu%c",
+                    static_cast<unsigned long long>(community.members[i]),
+                    (i + 1 == community.members.size() || i == 49) ? '\n'
+                                                                   : ' ');
+    }
+    if (community.members.size() > 50) std::printf("... (truncated)\n");
+    return 0;
+}
+
+int commandOverlap(const Args& args) {
+    Random::setSeed(args.integer("seed", 42));
+    Graph g = loadGraph(args.required("in"));
+    OverlappingLpaConfig config;
+    config.maxMemberships = args.integer("memberships", 2);
+    OverlappingLpa lpa(config);
+    Timer timer;
+    const Cover cover = lpa.run(g);
+    std::printf("overlapping LPA: %llu communities, %.1f%% of nodes in "
+                "overlaps, %llu iterations (%s)\n",
+                static_cast<unsigned long long>(cover.numberOfSubsets()),
+                100.0 * cover.overlapFraction(),
+                static_cast<unsigned long long>(lpa.iterations()),
+                formatDuration(timer.elapsed()).c_str());
+    if (args.has("out")) {
+        // One line per node: space-separated community ids.
+        std::FILE* f = std::fopen(args.str("out").c_str(), "w");
+        if (!f) fail("overlap: cannot open " + args.str("out"));
+        for (node v = 0; v < cover.numberOfElements(); ++v) {
+            bool first = true;
+            for (node c : cover.subsetsOf(v)) {
+                std::fprintf(f, first ? "%u" : " %u", c);
+                first = false;
+            }
+            std::fprintf(f, "\n");
+        }
+        std::fclose(f);
+        std::printf("cover -> %s\n", args.str("out").c_str());
+    }
+    return 0;
+}
+
+int commandCompare(const Args& args) {
+    const Partition a = io::readPartition(args.required("a"));
+    const Partition b = io::readPartition(args.required("b"));
+    std::printf("jaccard  %.4f\n", jaccardIndex(a, b));
+    std::printf("rand     %.4f\n", randIndex(a, b));
+    std::printf("nmi      %.4f\n", normalizedMutualInformation(a, b));
+    if (args.has("graph")) {
+        Graph g = loadGraph(args.str("graph"));
+        std::printf("modularity(a) %.4f\n", Modularity().getQuality(a, g));
+        std::printf("modularity(b) %.4f\n", Modularity().getQuality(b, g));
+        const ConductanceSummary phi = conductanceSummary(a, g);
+        std::printf("conductance(a) avg %.4f (min %.4f, max %.4f)\n",
+                    phi.average, phi.minimum, phi.maximum);
+    }
+    return 0;
+}
+
+int commandConvert(const Args& args) {
+    Graph g = loadGraph(args.required("in"));
+    saveGraph(g, args.required("out"));
+    std::printf("converted: n=%llu m=%llu -> %s\n",
+                static_cast<unsigned long long>(g.numberOfNodes()),
+                static_cast<unsigned long long>(g.numberOfEdges()),
+                args.required("out").c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string command = argv[1];
+    try {
+        const Args args(argc, argv, 2);
+        if (command == "generate") return commandGenerate(args);
+        if (command == "detect") return commandDetect(args);
+        if (command == "stats") return commandStats(args);
+        if (command == "local") return commandLocal(args);
+        if (command == "overlap") return commandOverlap(args);
+        if (command == "compare") return commandCompare(args);
+        if (command == "convert") return commandConvert(args);
+        usage("unknown command");
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
