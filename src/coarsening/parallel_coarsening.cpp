@@ -1,5 +1,7 @@
 #include "coarsening/parallel_coarsening.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include <omp.h>
@@ -12,7 +14,9 @@ namespace grapr {
 namespace {
 
 /// Deterministic compaction: coarse ids ordered by ascending community id.
-std::pair<std::vector<node>, count> compactMap(const Graph& g,
+/// Generic over the graph layout (mutable adjacency lists or frozen CSR).
+template <typename GraphT>
+std::pair<std::vector<node>, count> compactMap(const GraphT& g,
                                                const Partition& zeta) {
     const count idBound = zeta.upperBound();
     require(idBound > 0, "coarsening: partition upper bound is zero");
@@ -113,6 +117,103 @@ CoarseningResult ParallelPartitionCoarsening::runParallel(
     CoarseningResult result;
     result.coarseGraph = builder.build(/*dedup=*/true, /*sumWeights=*/true);
     result.fineToCoarse = fineToCoarse;
+    return result;
+}
+
+CsrCoarseningResult ParallelPartitionCoarsening::run(
+    const CsrGraph& g, const Partition& zeta) const {
+    auto [fineToCoarse, coarseNodes] = compactMap(g, zeta);
+
+    // Bucket the fine nodes by coarse id: counting sort with a prefix sum
+    // over the community sizes, then a parallel scatter. Buckets are
+    // sorted ascending afterwards so the aggregation order below — and
+    // with it the coarse graph — is independent of the thread count.
+    std::vector<count> rowStart(coarseNodes, 0);
+    g.parallelForNodes([&](node v) {
+#pragma omp atomic
+        ++rowStart[fineToCoarse[v]];
+    });
+    const count memberCount = Parallel::prefixSum(rowStart);
+    std::vector<node> members(memberCount);
+    {
+        std::vector<std::atomic<count>> cursor(coarseNodes);
+        for (count c = 0; c < coarseNodes; ++c) {
+            cursor[c].store(rowStart[c], std::memory_order_relaxed);
+        }
+        g.parallelForNodes([&](node v) {
+            const count slot = cursor[fineToCoarse[v]].fetch_add(
+                1, std::memory_order_relaxed);
+            members[slot] = v;
+        });
+    }
+    auto bucketEnd = [&](count c) {
+        return c + 1 < coarseNodes ? rowStart[c + 1] : memberCount;
+    };
+    const auto scn = static_cast<std::int64_t>(coarseNodes);
+#pragma omp parallel for schedule(guided) if (parallel_)
+    for (std::int64_t c = 0; c < scn; ++c) {
+        const auto cc = static_cast<count>(c);
+        std::sort(members.begin() + static_cast<std::ptrdiff_t>(rowStart[cc]),
+                  members.begin() + static_cast<std::ptrdiff_t>(bucketEnd(cc)));
+    }
+
+    // One aggregation per coarse node: scan the members' fine rows into a
+    // scratch accumulator keyed by coarse neighbor id. Intra-community
+    // edges land on the coarse self-loop; the `v < u` guard counts each
+    // one from a single endpoint (fine self-loops pass, stored once).
+    ScratchPool scratch(coarseNodes);
+    auto aggregate = [&](count c, SparseAccumulator& acc) {
+        acc.clear();
+        const count end = bucketEnd(c);
+        for (count i = rowStart[c]; i < end; ++i) {
+            const node u = members[i];
+            g.forNeighborsOf(u, [&](node v, edgeweight w) {
+                const node cv = fineToCoarse[v];
+                if (cv == c && v < u) return;
+                acc.add(cv, w);
+            });
+        }
+    };
+
+    // Pass 1: coarse row lengths -> prefix sum -> CSR offsets.
+    std::vector<count> rowLength(coarseNodes, 0);
+#pragma omp parallel for schedule(guided) if (parallel_)
+    for (std::int64_t c = 0; c < scn; ++c) {
+        SparseAccumulator& acc = scratch.local();
+        aggregate(static_cast<count>(c), acc);
+        rowLength[static_cast<count>(c)] =
+            static_cast<count>(acc.touched().size());
+    }
+    const count entries = Parallel::prefixSum(rowLength);
+    std::vector<index> offsets(coarseNodes + 1);
+    for (count c = 0; c < coarseNodes; ++c) {
+        offsets[c] = static_cast<index>(rowLength[c]);
+    }
+    offsets[coarseNodes] = static_cast<index>(entries);
+
+    // Pass 2: re-aggregate and write each row, sorted by coarse neighbor
+    // id, directly into its CSR slice.
+    std::vector<node> neighbors(entries);
+    std::vector<edgeweight> weights(entries);
+#pragma omp parallel for schedule(guided) if (parallel_)
+    for (std::int64_t c = 0; c < scn; ++c) {
+        const auto cc = static_cast<count>(c);
+        SparseAccumulator& acc = scratch.local();
+        aggregate(cc, acc);
+        std::vector<index> row(acc.touched());
+        std::sort(row.begin(), row.end());
+        index slot = offsets[cc];
+        for (index key : row) {
+            neighbors[slot] = static_cast<node>(key);
+            weights[slot] = acc[key];
+            ++slot;
+        }
+    }
+
+    CsrCoarseningResult result;
+    result.coarseGraph = CsrGraph(std::move(offsets), std::move(neighbors),
+                                  std::move(weights), /*weighted=*/true);
+    result.fineToCoarse = std::move(fineToCoarse);
     return result;
 }
 

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "structures/partition.hpp"
 
@@ -21,6 +22,16 @@ namespace grapr {
 
 struct CoarseningResult {
     Graph coarseGraph{0, true};
+    /// π: fine node id -> coarse node id.
+    std::vector<node> fineToCoarse;
+};
+
+/// Result of coarsening a frozen graph: the coarse graph is built directly
+/// in CSR form (prefix sums over per-coarse-node degrees, no intermediate
+/// mutable Graph), so a multi-level algorithm stays in the frozen layout
+/// across all levels and converts back only at its API boundary.
+struct CsrCoarseningResult {
+    CsrGraph coarseGraph;
     /// π: fine node id -> coarse node id.
     std::vector<node> fineToCoarse;
 };
@@ -34,6 +45,16 @@ public:
     /// ids are compacted into coarse node ids (ascending-id order, so the
     /// result is deterministic regardless of thread count).
     CoarseningResult run(const Graph& g, const Partition& zeta) const;
+
+    /// CSR fast path: coarsen a frozen graph into a frozen (weighted)
+    /// coarse graph. Fine nodes are bucketed by coarse id with a counting
+    /// sort (prefix sums), then one thread per coarse node aggregates its
+    /// members' neighborhoods in a scratch accumulator; coarse adjacency
+    /// rows are written straight into the CSR arrays through a second
+    /// prefix sum over the row lengths. Rows come out sorted by neighbor
+    /// id, so the coarse graph is canonical and deterministic for a fixed
+    /// partition regardless of thread count.
+    CsrCoarseningResult run(const CsrGraph& g, const Partition& zeta) const;
 
 private:
     bool parallel_;

@@ -1,6 +1,7 @@
 #include "community/plm.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
 #include <omp.h>
@@ -12,8 +13,16 @@
 
 namespace grapr {
 
-count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
-                     count maxIterations, IterationTracer* tracer) {
+namespace {
+
+// The move phase and its ablation variant are written once, generic over
+// the graph layout: GraphT is either Graph (mutable adjacency lists) or
+// CsrGraph (the frozen flat layout, where volume() is a precomputed O(1)
+// read and neighbor scans stream over one contiguous arena).
+
+template <typename GraphT>
+count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
+                    count maxIterations, IterationTracer* tracer) {
     const count bound = g.upperNodeIdBound();
     const double omegaE = g.totalEdgeWeight();
     if (omegaE <= 0.0) return 0;
@@ -70,9 +79,12 @@ count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
                 const double delta =
                     deltaModularity(omegaE, weightToCurrent, acc[c],
                                     volCurrent, volCandidate, volU, gamma);
+                // Ties always resolve to the lowest community id — making
+                // the selection independent of neighbor order, and with it
+                // single-threaded runs reproducible across layouts and
+                // schedules.
                 if (delta > bestDelta ||
-                    (delta == bestDelta && bestDelta > 0.0 &&
-                     candidate < bestCommunity)) {
+                    (delta == bestDelta && candidate < bestCommunity)) {
                     bestDelta = delta;
                     bestCommunity = candidate;
                 }
@@ -97,8 +109,232 @@ count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
     return totalMoves;
 }
 
-count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
-                               count maxIterations) {
+// ---------------------------------------------------------------------------
+// Tuned kernel for the frozen layout. Same decisions as movePhaseImpl —
+// enforced bit-for-bit by tests/test_csr.cpp — but engineered around this
+// kernel's two actual costs: the random accesses of the per-community
+// accumulation, and the per-candidate Δmod arithmetic.
+//
+//  * Scoring is division-free: instead of Δ we compare the scaled value
+//    2ω(E)²·Δ = 2ω(E)(ω(u,D\{u}) − ω(u,C\{u})) + γ·vol(u)(vol(C\{u}) − vol(D)),
+//    a positive multiple of Δ, so argmax, ties, and the Δ > 0 gate are
+//    unchanged. On integer-valued weights (every unweighted input, and
+//    every coarse graph derived from one) these products are computed
+//    EXACTLY in doubles (≪ 2^53), so equal-gain ties are detected exactly;
+//    the reference formula's rounding error (~1e-21) is orders of magnitude
+//    below the smallest nonzero scaled gap (~1/(2ω²)), so the two scorings
+//    can never disagree on an ordering.
+//  * The accumulator stores {value, stamp} fused in one cell — one random
+//    cache line per add instead of two — and counts in 8-byte integer
+//    cells when the graph is unweighted (counts ARE the exact sums of
+//    1.0-weights, so values are identical).
+// ---------------------------------------------------------------------------
+
+/// Fused-cell accumulator over integer counts (unweighted rows).
+class FrozenCountCells {
+public:
+    explicit FrozenCountCells(count universe) : cells_(universe, {0, 0}) {}
+    void clear() {
+        touched_.clear();
+        if (++generation_ == 0) {
+            cells_.assign(cells_.size(), {0, 0});
+            generation_ = 1;
+        }
+    }
+    void add(node k, edgeweight /*w — always defaultEdgeWeight*/) {
+        Cell& c = cells_[k];
+        if (c.stamp != generation_) {
+            c.stamp = generation_;
+            c.count = 1;
+            touched_.push_back(k);
+        } else {
+            ++c.count;
+        }
+    }
+    double get(node k) const {
+        const Cell& c = cells_[k];
+        return c.stamp == generation_ ? static_cast<double>(c.count) : 0.0;
+    }
+    const std::vector<node>& touched() const noexcept { return touched_; }
+
+private:
+    struct Cell {
+        std::uint32_t count;
+        std::uint32_t stamp;
+    };
+    std::vector<Cell> cells_;
+    std::vector<node> touched_;
+    std::uint32_t generation_ = 1;
+};
+
+/// Fused-cell accumulator over edge weights (weighted rows).
+class FrozenWeightCells {
+public:
+    explicit FrozenWeightCells(count universe) : cells_(universe, {0.0, 0}) {}
+    void clear() {
+        touched_.clear();
+        if (++generation_ == 0) {
+            cells_.assign(cells_.size(), {0.0, 0});
+            generation_ = 1;
+        }
+    }
+    void add(node k, edgeweight w) {
+        Cell& c = cells_[k];
+        if (c.stamp != generation_) {
+            c.stamp = generation_;
+            c.value = w;
+            touched_.push_back(k);
+        } else {
+            c.value += w;
+        }
+    }
+    double get(node k) const {
+        const Cell& c = cells_[k];
+        return c.stamp == generation_ ? c.value : 0.0;
+    }
+    const std::vector<node>& touched() const noexcept { return touched_; }
+
+private:
+    struct Cell {
+        double value;
+        std::uint32_t stamp;
+    };
+    std::vector<Cell> cells_;
+    std::vector<node> touched_;
+    std::uint32_t generation_ = 1;
+};
+
+template <typename Cells>
+count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
+                          count maxIterations, IterationTracer* tracer) {
+    const count bound = g.upperNodeIdBound();
+    const double omegaE = g.totalEdgeWeight();
+    if (omegaE <= 0.0) return 0;
+    const double twoOmega = 2.0 * omegaE;
+    const count communityBound = std::max<count>(zeta.upperBound(), bound);
+
+    std::vector<double> communityVolume(communityBound, 0.0);
+    std::vector<double> nodeVolume(bound, 0.0);
+    g.parallelForNodes([&](node u) { nodeVolume[u] = g.volume(u); });
+    g.forNodes([&](node u) { communityVolume[zeta[u]] += nodeVolume[u]; });
+
+    const index* offsets = g.offsets().data();
+    const node* neighbors = g.neighborArray().data();
+    const edgeweight* weights =
+        g.isWeighted() ? g.weightArray().data() : nullptr;
+
+    std::vector<Cells> scratch;
+    const int maxThreads = omp_get_max_threads();
+    scratch.reserve(maxThreads);
+    for (int t = 0; t < maxThreads; ++t) scratch.emplace_back(communityBound);
+
+    count totalMoves = 0;
+    for (count iteration = 0; iteration < maxIterations; ++iteration) {
+        count movedThisRound = 0;
+        const auto n = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+        for (std::int64_t su = 0; su < n; ++su) {
+            const node u = static_cast<node>(su);
+            const index lo = offsets[u];
+            const index hi = offsets[u + 1];
+            if (lo == hi) continue; // holes and isolated nodes: empty rows
+
+            const node current = zeta[u];
+            Cells& acc = scratch[omp_get_thread_num()];
+            acc.clear();
+            const node* zetaData = zeta.vector().data();
+            if (weights) {
+                for (index i = lo; i < hi; ++i) {
+                    if (i + 8 < hi) {
+                        __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
+                    }
+                    const node v = neighbors[i];
+                    if (v != u) acc.add(zetaData[v], weights[i]);
+                }
+            } else {
+                for (index i = lo; i < hi; ++i) {
+                    if (i + 8 < hi) {
+                        __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
+                    }
+                    const node v = neighbors[i];
+                    if (v != u) acc.add(zetaData[v], 1.0);
+                }
+            }
+
+            const double volU = nodeVolume[u];
+            const double weightToCurrent = acc.get(current);
+            double volCurrent;
+#pragma omp atomic read
+            volCurrent = communityVolume[current];
+            volCurrent -= volU;
+
+            // score(D) = 2ω·ω(u,D) − γ·vol(u)·vol(D) + base, where base
+            // folds in the (candidate-independent) cost of leaving C.
+            const double gammaVolU = gamma * volU;
+            const double base =
+                gammaVolU * volCurrent - twoOmega * weightToCurrent;
+            node bestCommunity = current;
+            double bestScore = 0.0;
+            for (node candidate : acc.touched()) {
+                __builtin_prefetch(&communityVolume[candidate], 0, 1);
+            }
+            for (node candidate : acc.touched()) {
+                if (candidate == current) continue;
+                double volCandidate;
+#pragma omp atomic read
+                volCandidate = communityVolume[candidate];
+                const double score = twoOmega * acc.get(candidate) -
+                                     gammaVolU * volCandidate + base;
+                // Lowest-id tie break, exactly as movePhaseImpl.
+                if (score > bestScore ||
+                    (score == bestScore && candidate < bestCommunity)) {
+                    bestScore = score;
+                    bestCommunity = candidate;
+                }
+            }
+
+            if (bestCommunity != current && bestScore > 0.0) {
+#pragma omp atomic
+                communityVolume[current] -= volU;
+#pragma omp atomic
+                communityVolume[bestCommunity] += volU;
+                zeta.set(u, bestCommunity);
+                ++movedThisRound;
+            }
+        }
+        totalMoves += movedThisRound;
+        if (tracer) {
+            tracer->record(iteration + 1, g.numberOfNodes(), movedThisRound);
+        }
+        if (movedThisRound == 0) break;
+    }
+    return totalMoves;
+}
+
+count movePhaseFrozen(const CsrGraph& g, Partition& zeta, double gamma,
+                      count maxIterations, IterationTracer* tracer) {
+    return g.isWeighted()
+               ? movePhaseFrozenImpl<FrozenWeightCells>(g, zeta, gamma,
+                                                        maxIterations, tracer)
+               : movePhaseFrozenImpl<FrozenCountCells>(g, zeta, gamma,
+                                                       maxIterations, tracer);
+}
+
+/// Layout dispatch for the Recompute strategy: the mutable layout runs the
+/// reference kernel, the frozen layout the tuned one (identical decisions).
+count moveNodes(const Graph& g, Partition& zeta, double gamma,
+                count maxIterations, IterationTracer* tracer) {
+    return movePhaseImpl(g, zeta, gamma, maxIterations, tracer);
+}
+
+count moveNodes(const CsrGraph& g, Partition& zeta, double gamma,
+                count maxIterations, IterationTracer* tracer) {
+    return movePhaseFrozen(g, zeta, gamma, maxIterations, tracer);
+}
+
+template <typename GraphT>
+count movePhaseCachedMapsImpl(const GraphT& g, Partition& zeta, double gamma,
+                              count maxIterations) {
     const count bound = g.upperNodeIdBound();
     const double omegaE = g.totalEdgeWeight();
     if (omegaE <= 0.0) return 0;
@@ -154,7 +390,10 @@ count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
                         deltaModularity(omegaE, weightToCurrent, weight,
                                         volCurrent, volCandidate, volU,
                                         gamma);
-                    if (delta > bestDelta) {
+                    // Lowest-id tie break (see movePhaseImpl) — essential
+                    // here, where the map's iteration order is arbitrary.
+                    if (delta > bestDelta ||
+                        (delta == bestDelta && candidate < bestCommunity)) {
                         bestDelta = delta;
                         bestCommunity = candidate;
                     }
@@ -191,7 +430,30 @@ count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
     return totalMoves;
 }
 
-Partition Plm::runRecursive(const Graph& g, count level) {
+} // namespace
+
+count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
+                     count maxIterations, IterationTracer* tracer) {
+    return movePhaseImpl(g, zeta, gamma, maxIterations, tracer);
+}
+
+count Plm::movePhase(const CsrGraph& g, Partition& zeta, double gamma,
+                     count maxIterations, IterationTracer* tracer) {
+    return movePhaseFrozen(g, zeta, gamma, maxIterations, tracer);
+}
+
+count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
+                               count maxIterations) {
+    return movePhaseCachedMapsImpl(g, zeta, gamma, maxIterations);
+}
+
+count Plm::movePhaseCachedMaps(const CsrGraph& g, Partition& zeta,
+                               double gamma, count maxIterations) {
+    return movePhaseCachedMapsImpl(g, zeta, gamma, maxIterations);
+}
+
+template <typename GraphT>
+Partition Plm::runRecursive(const GraphT& g, count level) {
     Partition zeta(g.upperNodeIdBound());
     zeta.allToSingletons();
 
@@ -202,9 +464,9 @@ Partition Plm::runRecursive(const Graph& g, count level) {
     IterationTracer moveTracer;
     const count moves =
         config_.strategy == PlmWeightStrategy::CachedMaps
-            ? movePhaseCachedMaps(g, zeta, config_.gamma,
-                                  config_.maxMoveIterations)
-            : movePhase(g, zeta, config_.gamma, config_.maxMoveIterations,
+            ? movePhaseCachedMapsImpl(g, zeta, config_.gamma,
+                                      config_.maxMoveIterations)
+            : moveNodes(g, zeta, config_.gamma, config_.maxMoveIterations,
                         tracer_ ? &moveTracer : nullptr);
     info.moveIterations = moveTracer.records().size();
     info.totalMoves = moves;
@@ -218,7 +480,10 @@ Partition Plm::runRecursive(const Graph& g, count level) {
     if (moves == 0) return zeta; // ζ unchanged: recursion bottoms out
 
     ParallelPartitionCoarsening coarsener(config_.parallelCoarsening);
-    CoarseningResult coarse = coarsener.run(g, zeta);
+    // Overload resolution keeps the recursion in the input layout: a
+    // frozen level coarsens CSR-to-CSR (prefix-sum construction), a
+    // mutable level through the builder-based scheme.
+    auto coarse = coarsener.run(g, zeta);
 
     // Guard against non-contraction (every community a singleton would
     // reproduce the same graph forever).
@@ -231,15 +496,17 @@ Partition Plm::runRecursive(const Graph& g, count level) {
 
     if (config_.refine) {
         // PLMR: re-evaluate node assignments on this level in view of the
-        // changes made on the coarser levels (Algorithm 4 line 7).
+        // changes made on the coarser levels (Algorithm 4 line 7). Runs on
+        // the same frozen view as the first move phase — the level is
+        // frozen once, not per pass.
         zeta.setUpperBound(
             static_cast<node>(std::max<count>(zeta.upperBound(),
                                               g.upperNodeIdBound())));
         if (config_.strategy == PlmWeightStrategy::CachedMaps) {
-            movePhaseCachedMaps(g, zeta, config_.gamma,
-                                config_.maxMoveIterations);
+            movePhaseCachedMapsImpl(g, zeta, config_.gamma,
+                                    config_.maxMoveIterations);
         } else {
-            movePhase(g, zeta, config_.gamma, config_.maxMoveIterations,
+            moveNodes(g, zeta, config_.gamma, config_.maxMoveIterations,
                       nullptr);
         }
     }
@@ -247,6 +514,20 @@ Partition Plm::runRecursive(const Graph& g, count level) {
 }
 
 Partition Plm::run(const Graph& g) {
+    levels_.clear();
+    Partition zeta;
+    if (config_.freeze) {
+        const CsrGraph frozen(g);
+        zeta = runRecursive(frozen, 0);
+    } else {
+        zeta = runRecursive(g, 0);
+    }
+    zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
+    zeta.compact();
+    return zeta;
+}
+
+Partition Plm::runFrozen(const CsrGraph& g) {
     levels_.clear();
     Partition zeta = runRecursive(g, 0);
     zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
@@ -260,6 +541,7 @@ std::string Plm::toString() const {
         name += "(gamma=" + std::to_string(config_.gamma) + ")";
     }
     if (!config_.parallelCoarsening) name += "+seqcoarse";
+    if (!config_.freeze) name += "+nofreeze";
     return name;
 }
 

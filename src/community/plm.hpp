@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "community/detector.hpp"
+#include "graph/csr_graph.hpp"
 
 namespace grapr {
 
@@ -53,6 +54,12 @@ struct PlmConfig {
     count maxMoveIterations = 64;
     /// Neighbor-community weight strategy (see PlmWeightStrategy).
     PlmWeightStrategy strategy = PlmWeightStrategy::Recompute;
+    /// Freeze the input into a CSR view once per level and run every hot
+    /// loop (move phase, coarsening, refinement) over the flat layout —
+    /// the cache-friendly fast path. Disable to run directly on the
+    /// mutable adjacency lists (the layout ablation; results are
+    /// bit-identical single-threaded, see tests/test_csr.cpp).
+    bool freeze = true;
 };
 
 /// Per-level record of a PLM run, for scaling analyses and tests.
@@ -69,6 +76,11 @@ public:
 
     Partition run(const Graph& g) override;
 
+    /// Run on an already-frozen graph (no freeze cost, no conversion):
+    /// the entry point for callers that hold a CsrGraph anyway, e.g. the
+    /// layout micro benchmarks.
+    Partition runFrozen(const CsrGraph& g);
+
     std::string toString() const override;
 
     /// Coarsening hierarchy of the last run, finest level first.
@@ -78,13 +90,21 @@ public:
     /// refinement pass, tests, and ablation benches. Moves nodes of g
     /// between the communities of zeta until stable (or the iteration cap);
     /// returns the number of moves performed. zeta must be complete with
-    /// ids < zeta.upperBound().
+    /// ids < zeta.upperBound(). Equal-gain candidates resolve to the
+    /// lowest community id, so single-threaded runs are deterministic and
+    /// independent of neighbor order.
     static count movePhase(const Graph& g, Partition& zeta, double gamma,
+                           count maxIterations, IterationTracer* tracer);
+    /// CSR overload — same kernel over the frozen layout.
+    static count movePhase(const CsrGraph& g, Partition& zeta, double gamma,
                            count maxIterations, IterationTracer* tracer);
 
     /// The abandoned first implementation (per-node cached maps + locks),
     /// same contract as movePhase. Exposed for the strategy ablation.
     static count movePhaseCachedMaps(const Graph& g, Partition& zeta,
+                                     double gamma, count maxIterations);
+    /// CSR overload of the cached-maps strategy.
+    static count movePhaseCachedMaps(const CsrGraph& g, Partition& zeta,
                                      double gamma, count maxIterations);
 
 protected:
@@ -92,7 +112,12 @@ protected:
     std::vector<PlmLevelInfo> levels_;
 
 private:
-    Partition runRecursive(const Graph& g, count level);
+    /// One level of Algorithm 3, generic over the graph layout: the whole
+    /// recursion stays in one representation (CsrGraph on the default fast
+    /// path — each level is frozen exactly once and the coarse graphs are
+    /// built CSR-to-CSR — or Graph when freezing is disabled).
+    template <typename GraphT>
+    Partition runRecursive(const GraphT& g, count level);
 };
 
 } // namespace grapr

@@ -9,6 +9,17 @@
 namespace grapr {
 
 Partition Plp::run(const Graph& g) {
+    if (config_.freeze) {
+        const CsrGraph frozen(g);
+        return runImpl(frozen);
+    }
+    return runImpl(g);
+}
+
+Partition Plp::runFrozen(const CsrGraph& g) { return runImpl(g); }
+
+template <typename GraphT>
+Partition Plp::runImpl(const GraphT& g) {
     const count bound = g.upperNodeIdBound();
     Partition zeta(bound);
     zeta.allToSingletons();
@@ -130,6 +141,7 @@ std::string Plp::toString() const {
     if (config_.explicitRandomization) name += "+rand";
     if (!config_.guidedSchedule) name += "+static";
     if (!config_.trackActiveNodes) name += "+noactivity";
+    if (!config_.freeze) name += "+nofreeze";
     return name;
 }
 

@@ -17,6 +17,7 @@
 // bipartite structures and diversifies ensemble base solutions.
 
 #include "community/detector.hpp"
+#include "graph/csr_graph.hpp"
 
 namespace grapr {
 
@@ -40,6 +41,11 @@ struct PlpConfig {
     /// neighborhood has not changed"); false re-evaluates every node in
     /// every iteration — the activity-tracking ablation.
     bool trackActiveNodes = true;
+    /// Freeze the input into a CSR view before iterating: the O(m) freeze
+    /// is amortized over tens of label sweeps that then stream flat
+    /// arrays. Disable for the layout ablation (bit-identical results
+    /// single-threaded, see tests/test_csr.cpp).
+    bool freeze = true;
 };
 
 class Plp final : public CommunityDetector {
@@ -47,6 +53,9 @@ public:
     explicit Plp(PlpConfig config = {}) : config_(config) {}
 
     Partition run(const Graph& g) override;
+
+    /// Run on an already-frozen graph (no freeze cost, no conversion).
+    Partition runFrozen(const CsrGraph& g);
 
     std::string toString() const override;
 
@@ -56,6 +65,10 @@ public:
 private:
     PlpConfig config_;
     count iterations_ = 0;
+
+    /// The label-propagation kernel, generic over the graph layout.
+    template <typename GraphT>
+    Partition runImpl(const GraphT& g);
 };
 
 } // namespace grapr

@@ -1,0 +1,160 @@
+#include "graph/csr_graph.hpp"
+
+#include "support/parallel.hpp"
+
+namespace grapr {
+
+namespace {
+
+/// vol(v) over one CSR row, replicating Graph::volume's evaluation order
+/// exactly (sum of all incident weights, then the first self-loop's weight
+/// again) so frozen volumes are bit-identical to the mutable path.
+edgeweight rowVolume(node v, const std::vector<node>& neighbors,
+                     const std::vector<edgeweight>* weights, index lo,
+                     index hi) {
+    edgeweight total = 0.0;
+    edgeweight loopWeight = 0.0;
+    bool sawLoop = false;
+    for (index i = lo; i < hi; ++i) {
+        const edgeweight w = weights ? (*weights)[i] : 1.0;
+        total += w;
+        if (!sawLoop && neighbors[i] == v) {
+            loopWeight = w;
+            sawLoop = true;
+        }
+    }
+    return total + loopWeight;
+}
+
+} // namespace
+
+CsrGraph::CsrGraph(const Graph& g)
+    : n_(g.numberOfNodes()),
+      m_(g.numberOfEdges()),
+      selfLoops_(g.numberOfSelfLoops()),
+      weighted_(g.isWeighted()),
+      totalWeight_(g.totalEdgeWeight()) {
+    const count bound = g.upperNodeIdBound();
+
+    // Degree histogram -> exclusive prefix sum -> row offsets. Removed
+    // nodes keep an empty row, so holes in the id space survive freezing.
+    std::vector<count> degrees(bound, 0);
+    exists_.assign(bound, 0);
+    g.parallelForNodes([&](node v) {
+        exists_[v] = 1;
+        degrees[v] = g.degree(v);
+    });
+    const count entries = Parallel::prefixSum(degrees);
+
+    offsets_.resize(bound + 1);
+    const auto sbound = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < sbound; ++v) {
+        offsets_[static_cast<std::size_t>(v)] =
+            static_cast<index>(degrees[static_cast<std::size_t>(v)]);
+    }
+    offsets_[bound] = static_cast<index>(entries);
+
+    neighbors_.resize(entries);
+    if (weighted_) weights_.resize(entries);
+    volume_.assign(bound, 0.0);
+
+    // Scatter every adjacency list into its slice, preserving order.
+    g.parallelForNodes([&](node v) {
+        const index lo = offsets_[v];
+        const auto& adj = g.neighbors(v);
+        for (index i = 0; i < adj.size(); ++i) {
+            neighbors_[lo + i] = adj[i];
+            if (weighted_) weights_[lo + i] = g.getIthNeighborWeight(v, i);
+        }
+        volume_[v] = rowVolume(v, neighbors_, weighted_ ? &weights_ : nullptr,
+                               lo, offsets_[v + 1]);
+    });
+}
+
+CsrGraph::CsrGraph(std::vector<index> offsets, std::vector<node> neighbors,
+                   std::vector<edgeweight> weights, bool weighted)
+    : weighted_(weighted),
+      offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)),
+      weights_(std::move(weights)) {
+    require(!offsets_.empty(), "CsrGraph: offsets array must have n+1 entries");
+    require(offsets_.back() == neighbors_.size(),
+            "CsrGraph: offsets/neighbors size mismatch");
+    require(!weighted_ || weights_.size() == neighbors_.size(),
+            "CsrGraph: weights/neighbors size mismatch");
+
+    const count bound = offsets_.size() - 1;
+    n_ = bound;
+    exists_.assign(bound, 1);
+    volume_.assign(bound, 0.0);
+
+    // Derive loops, edge count and total weight: every non-loop entry
+    // appears twice (once per endpoint), every self-loop once.
+    count loops = 0;
+    long double weightTwice = 0.0L; // non-loop weight, seen from both ends
+    long double loopWeight = 0.0L;
+    const auto sbound = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(guided) reduction(+ : loops, weightTwice, \
+                                                        loopWeight)
+    for (std::int64_t sv = 0; sv < sbound; ++sv) {
+        const node v = static_cast<node>(sv);
+        for (index i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+            const edgeweight w = weighted_ ? weights_[i] : 1.0;
+            if (neighbors_[i] == v) {
+                ++loops;
+                loopWeight += w;
+            } else {
+                weightTwice += w;
+            }
+        }
+        volume_[v] = rowVolume(v, neighbors_, weighted_ ? &weights_ : nullptr,
+                               offsets_[v], offsets_[v + 1]);
+    }
+    selfLoops_ = loops;
+    const count nonLoopEntries = neighbors_.size() - loops;
+    require(nonLoopEntries % 2 == 0,
+            "CsrGraph: asymmetric adjacency (odd non-loop entry count)");
+    m_ = nonLoopEntries / 2 + loops;
+    totalWeight_ =
+        static_cast<edgeweight>(weightTwice / 2.0L + loopWeight);
+}
+
+std::vector<node> CsrGraph::nodeIds() const {
+    std::vector<node> ids;
+    ids.reserve(n_);
+    forNodes([&](node v) { ids.push_back(v); });
+    return ids;
+}
+
+Graph CsrGraph::toGraph() const {
+    const count bound = upperNodeIdBound();
+    Graph g(bound, weighted_);
+    // Write the rows directly (CsrGraph is a friend of Graph, like
+    // GraphBuilder) instead of replaying addEdge calls: positional
+    // assembly preserves adjacency order bit-exactly, so freezing the
+    // result again is an identity round trip.
+    const auto sbound = static_cast<std::int64_t>(bound);
+#pragma omp parallel for schedule(guided)
+    for (std::int64_t sv = 0; sv < sbound; ++sv) {
+        const node v = static_cast<node>(sv);
+        const index lo = offsets_[v];
+        const index hi = offsets_[v + 1];
+        g.adjacency_[v].assign(neighbors_.begin() + static_cast<std::ptrdiff_t>(lo),
+                               neighbors_.begin() + static_cast<std::ptrdiff_t>(hi));
+        if (weighted_) {
+            g.weights_[v].assign(
+                weights_.begin() + static_cast<std::ptrdiff_t>(lo),
+                weights_.begin() + static_cast<std::ptrdiff_t>(hi));
+        }
+        g.exists_[v] = exists_[v];
+    }
+    g.n_ = n_;
+    g.m_ = m_;
+    g.selfLoops_ = selfLoops_;
+    g.totalWeight_ = totalWeight_;
+    g.sorted_ = false;
+    return g;
+}
+
+} // namespace grapr

@@ -43,6 +43,7 @@ void Graph::removeNode(node v) {
 void Graph::addEdge(node u, node v, edgeweight w) {
     require(hasNode(u) && hasNode(v), "addEdge: node does not exist");
     if (!weighted_) w = 1.0;
+    sorted_ = false;
     adjacency_[u].push_back(v);
     if (weighted_) weights_[u].push_back(w);
     if (u != v) {
@@ -63,6 +64,13 @@ bool Graph::addEdgeChecked(node u, node v, edgeweight w) {
 
 index Graph::indexOfNeighbor(node u, node v) const {
     const auto& adj = adjacency_[u];
+    if (sorted_) {
+        const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+        if (it != adj.end() && *it == v) {
+            return static_cast<index>(it - adj.begin());
+        }
+        return npos;
+    }
     for (index i = 0; i < adj.size(); ++i) {
         if (adj[i] == v) return i;
     }
@@ -74,6 +82,7 @@ void Graph::removeEdge(node u, node v) {
     require(iu != npos, "removeEdge: edge does not exist");
     const edgeweight w = weighted_ ? weights_[u][iu] : 1.0;
 
+    sorted_ = false; // swap-with-back removal breaks the order below
     auto dropAt = [this](node x, index i) {
         auto& adj = adjacency_[x];
         adj[i] = adj.back();
@@ -180,6 +189,7 @@ void Graph::sortNeighborLists() {
         adj = std::move(newAdj);
         wts = std::move(newWts);
     }
+    sorted_ = true;
 }
 
 bool Graph::structurallyEquals(const Graph& other) const {

@@ -65,7 +65,9 @@ public:
     /// Remove undirected edge {u,v}; precondition: it exists.
     void removeEdge(node u, node v);
 
-    /// Does the edge {u,v} exist? O(min(deg(u), deg(v))).
+    /// Does the edge {u,v} exist? O(min(deg(u), deg(v))), dropping to
+    /// O(log min(deg(u), deg(v))) after sortNeighborLists() while the
+    /// graph stays unmodified (see hasSortedNeighborLists).
     bool hasEdge(node u, node v) const;
 
     /// Increase the weight of existing edge {u,v} by delta (weighted graphs
@@ -194,8 +196,15 @@ public:
     void reserveNeighbors(node v, count capacity);
 
     /// Sort every adjacency list by neighbor id (weights permuted along).
-    /// Improves scan locality; invalidates positional neighbor indices.
+    /// Improves scan locality and switches hasEdge/weight membership
+    /// lookups to binary search; invalidates positional neighbor indices.
     void sortNeighborLists();
+
+    /// True while every adjacency list is sorted ascending: set by
+    /// sortNeighborLists() (and trivially on construction), cleared by any
+    /// structural edge update. Frozen-style workloads sort once and keep
+    /// O(log deg) membership queries from then on.
+    bool hasSortedNeighborLists() const noexcept { return sorted_; }
 
     /// Validate internal invariants (degree symmetry, weight array sizes,
     /// edge/weight totals); throws on violation. Used by tests and after
@@ -211,11 +220,14 @@ private:
     std::vector<std::vector<node>> adjacency_;
     std::vector<std::vector<edgeweight>> weights_; // empty when unweighted
     std::vector<std::uint8_t> exists_;
+    bool sorted_ = true; // empty adjacency lists are trivially sorted
 
-    /// Index of v in u's adjacency list, or none-like npos.
+    /// Index of v in u's adjacency list, or none-like npos. Binary search
+    /// when sorted_, linear scan otherwise.
     index indexOfNeighbor(node u, node v) const;
 
     friend class GraphBuilder;
+    friend class CsrGraph;
 };
 
 } // namespace grapr

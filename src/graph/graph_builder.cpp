@@ -113,6 +113,7 @@ Graph GraphBuilder::build(bool dedup, bool sumWeights) {
     g.m_ = static_cast<count>(kept);
     g.selfLoops_ = loops;
     g.totalWeight_ = static_cast<edgeweight>(weightTotal);
+    g.sorted_ = (kept == 0); // scatter order is thread-arbitrary
     return g;
 }
 

@@ -80,6 +80,12 @@ std::vector<node> randomNodeOrder(const Graph& g) {
     return order;
 }
 
+std::vector<node> randomNodeOrder(const CsrGraph& g) {
+    std::vector<node> order = g.nodeIds();
+    Random::shuffle(order.begin(), order.end());
+    return order;
+}
+
 node randomNode(const Graph& g) {
     if (g.isEmpty()) return none;
     // Rejection sampling over the id range; fine because removals are rare.

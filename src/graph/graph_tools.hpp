@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "support/common.hpp"
 
@@ -39,6 +40,9 @@ std::pair<Graph, std::vector<node>> inducedSubgraph(
 
 /// Existing node ids in uniformly random order (thread-local RNG).
 std::vector<node> randomNodeOrder(const Graph& g);
+/// Frozen-graph overload: identical RNG consumption, so PLP's traversal
+/// order matches across layouts.
+std::vector<node> randomNodeOrder(const CsrGraph& g);
 
 /// A uniformly random existing node; none if the graph is empty.
 node randomNode(const Graph& g);

@@ -17,6 +17,7 @@
 #include "support/timer.hpp"
 
 #include "graph/graph.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/distances.hpp"
 #include "graph/graph_tools.hpp"

@@ -2,7 +2,11 @@
 
 namespace grapr {
 
-double Coverage::getQuality(const Partition& zeta, const Graph& g) const {
+namespace {
+
+// One kernel, generic over the graph layout (Graph or frozen CsrGraph).
+template <typename GraphT>
+double coverageImpl(const Partition& zeta, const GraphT& g) {
     require(zeta.numberOfElements() >= g.upperNodeIdBound(),
             "Coverage: partition does not cover the graph");
     const double omegaE = g.totalEdgeWeight();
@@ -24,6 +28,16 @@ double Coverage::getQuality(const Partition& zeta, const Graph& g) const {
         intra += local;
     }
     return intra / omegaE;
+}
+
+} // namespace
+
+double Coverage::getQuality(const Partition& zeta, const Graph& g) const {
+    return coverageImpl(zeta, g);
+}
+
+double Coverage::getQuality(const Partition& zeta, const CsrGraph& g) const {
+    return coverageImpl(zeta, g);
 }
 
 } // namespace grapr

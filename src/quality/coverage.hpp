@@ -3,6 +3,7 @@
 // communities. The objective PLP implicitly maximizes (§III-A: "a locally
 // greedy coverage maximizer").
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "structures/partition.hpp"
 
@@ -12,6 +13,8 @@ class Coverage {
 public:
     /// Coverage of zeta on g, in [0, 1].
     double getQuality(const Partition& zeta, const Graph& g) const;
+    /// Frozen-graph overload — same kernel over the CSR layout.
+    double getQuality(const Partition& zeta, const CsrGraph& g) const;
 };
 
 } // namespace grapr

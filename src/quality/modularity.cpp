@@ -6,7 +6,11 @@
 
 namespace grapr {
 
-double Modularity::getQuality(const Partition& zeta, const Graph& g) const {
+namespace {
+
+// One kernel, generic over the graph layout (Graph or frozen CsrGraph).
+template <typename GraphT>
+double modularityImpl(const Partition& zeta, const GraphT& g, double gamma) {
     require(zeta.numberOfElements() >= g.upperNodeIdBound(),
             "Modularity: partition does not cover the graph");
     const double omegaE = g.totalEdgeWeight();
@@ -60,9 +64,19 @@ double Modularity::getQuality(const Partition& zeta, const Graph& g) const {
             volume += volumeLocal[static_cast<std::size_t>(t)][c];
         }
         quality += intra / omegaE -
-                   gamma_ * (volume * volume) / (4.0 * omegaE * omegaE);
+                   gamma * (volume * volume) / (4.0 * omegaE * omegaE);
     }
     return quality;
+}
+
+} // namespace
+
+double Modularity::getQuality(const Partition& zeta, const Graph& g) const {
+    return modularityImpl(zeta, g, gamma_);
+}
+
+double Modularity::getQuality(const Partition& zeta, const CsrGraph& g) const {
+    return modularityImpl(zeta, g, gamma_);
 }
 
 } // namespace grapr

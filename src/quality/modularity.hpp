@@ -8,6 +8,7 @@
 // favours singletons. Evaluation is a single parallel edge sweep plus a
 // parallel volume reduction, O(m + n).
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "structures/partition.hpp"
 
@@ -20,6 +21,8 @@ public:
     /// Modularity of zeta on g. Requires a complete partition (every node
     /// assigned) with ids < zeta.upperBound().
     double getQuality(const Partition& zeta, const Graph& g) const;
+    /// Frozen-graph overload — same kernel over the CSR layout.
+    double getQuality(const Partition& zeta, const CsrGraph& g) const;
 
     double gamma() const noexcept { return gamma_; }
 

@@ -77,6 +77,14 @@ public:
         return stamp_[k] == generation_ ? values_[k] : 0.0;
     }
 
+    /// Hint that key `k` is about to be added to. Kernels that know their
+    /// keys a few steps ahead (e.g. scans over a CSR row) use this to hide
+    /// the random-access latency of the stamp/value arrays.
+    void prefetch(index k) const {
+        __builtin_prefetch(&stamp_[k], 1, 1);
+        __builtin_prefetch(&values_[k], 1, 1);
+    }
+
     /// Keys touched since the last clear, in first-touch order.
     const std::vector<index>& touched() const noexcept { return touched_; }
 

@@ -472,3 +472,46 @@ TEST(Plp, SelfLoopOnlyGraph) {
     // A self-loop gives node 0 its own dominant label: stays singleton.
     EXPECT_NE(zeta[0], zeta[1]);
 }
+
+// --- move-phase tie-breaking and single-threaded determinism ---------------
+
+TEST(Plm, MovePhaseTieBreaksToLowestCommunityId) {
+    // Star: center 0 with leaves 1 and 2. From the singleton clustering,
+    // moving 0 into {1} or {2} yields the exact same positive Δmod; the
+    // tie must resolve to the lower community id regardless of neighbor
+    // order — also when the order is reversed.
+    const int restoreThreads = Parallel::maxThreads();
+    Parallel::setThreads(1);
+    for (const bool reversed : {false, true}) {
+        Graph g(3, false);
+        if (reversed) {
+            g.addEdge(0, 2);
+            g.addEdge(0, 1);
+        } else {
+            g.addEdge(0, 1);
+            g.addEdge(0, 2);
+        }
+        Partition zeta(g.upperNodeIdBound());
+        zeta.allToSingletons();
+        Plm::movePhase(g, zeta, 1.0, 1, nullptr);
+        EXPECT_EQ(zeta[0], 1u) << "reversed=" << reversed;
+    }
+    Parallel::setThreads(restoreThreads);
+}
+
+TEST(Plm, SingleThreadedRunsAreDeterministic) {
+    const int restoreThreads = Parallel::maxThreads();
+    Parallel::setThreads(1);
+    Random::setSeed(777);
+    const Graph g = PlantedPartitionGenerator(400, 8, 0.2, 0.01).generate();
+    for (const bool refine : {false, true}) {
+        PlmConfig config;
+        config.refine = refine;
+        Random::setSeed(778);
+        const Partition first = Plm(config).run(g);
+        Random::setSeed(778);
+        const Partition second = Plm(config).run(g);
+        EXPECT_EQ(first.vector(), second.vector()) << "refine=" << refine;
+    }
+    Parallel::setThreads(restoreThreads);
+}

@@ -376,3 +376,71 @@ TEST(Graph, CopySemantics) {
     EXPECT_EQ(moved.numberOfEdges(), 2u);
     moved.checkConsistency();
 }
+
+// --- sorted adjacency lists: binary-search membership lookups --------------
+
+TEST(Graph, SortedFlagLifecycle) {
+    Graph g(4, false);
+    EXPECT_TRUE(g.hasSortedNeighborLists()); // empty lists are sorted
+    g.addEdge(0, 2);
+    EXPECT_FALSE(g.hasSortedNeighborLists()); // append may break order
+    g.sortNeighborLists();
+    EXPECT_TRUE(g.hasSortedNeighborLists());
+    g.addEdge(0, 1);
+    EXPECT_FALSE(g.hasSortedNeighborLists());
+    g.sortNeighborLists();
+    EXPECT_TRUE(g.hasSortedNeighborLists());
+    g.removeEdge(0, 1);
+    EXPECT_FALSE(g.hasSortedNeighborLists()); // swap-with-back removal
+}
+
+TEST(Graph, SortedLookupsMatchLinearScan) {
+    Random::setSeed(4242);
+    const count n = 60;
+    Graph g(n, true);
+    for (count i = 0; i < 300; ++i) {
+        const auto u = static_cast<node>(Random::integer(n));
+        const auto v = static_cast<node>(Random::integer(n));
+        g.addEdgeChecked(u, v, 1.0 + static_cast<double>(i % 7));
+    }
+    // Record ground truth while the lists are unsorted (linear scans).
+    std::vector<std::vector<edgeweight>> truth(n, std::vector<edgeweight>(n));
+    for (node u = 0; u < n; ++u) {
+        for (node v = 0; v < n; ++v) truth[u][v] = g.weight(u, v);
+    }
+    g.sortNeighborLists();
+    ASSERT_TRUE(g.hasSortedNeighborLists());
+    for (node u = 0; u < n; ++u) {
+        for (node v = 0; v < n; ++v) {
+            EXPECT_EQ(g.weight(u, v), truth[u][v]) << u << "," << v;
+            EXPECT_EQ(g.hasEdge(u, v), truth[u][v] != 0.0) << u << "," << v;
+        }
+    }
+    g.checkConsistency();
+}
+
+TEST(Graph, SortedRemoveAndIncreaseWeightStayCorrect) {
+    Graph g(5, true);
+    g.addEdge(0, 3, 1.0);
+    g.addEdge(0, 1, 2.0);
+    g.addEdge(0, 4, 3.0);
+    g.addEdge(0, 0, 5.0);
+    g.sortNeighborLists();
+    g.removeEdge(0, 3); // binary-search lookup, then unsorted from here on
+    EXPECT_FALSE(g.hasEdge(0, 3));
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    g.increaseWeight(0, 4, 1.5);
+    EXPECT_DOUBLE_EQ(g.weight(0, 4), 4.5);
+    EXPECT_DOUBLE_EQ(g.weight(0, 0), 5.0);
+    g.checkConsistency();
+}
+
+TEST(GraphBuilder, BuiltGraphReportsUnsortedLists) {
+    GraphBuilder builder(4, false);
+    builder.addEdge(0, 1);
+    builder.addEdge(2, 3);
+    const Graph g = builder.build();
+    EXPECT_FALSE(g.hasSortedNeighborLists()); // scatter order is arbitrary
+    const Graph empty = GraphBuilder(3, false).build();
+    EXPECT_TRUE(empty.hasSortedNeighborLists());
+}
