@@ -14,6 +14,7 @@
 #include "generators/rmat.hpp"
 #include "io/binary_io.hpp"
 #include "quality/modularity.hpp"
+#include "support/logging.hpp"
 #include "support/random.hpp"
 #include "support/timer.hpp"
 
@@ -131,7 +132,15 @@ Graph loadReplica(const ReplicaSpec& spec) {
         dataDirectory() + "/" + spec.name + (quickMode() ? ".quick" : "") +
         ".grpr";
     if (std::filesystem::exists(cachePath)) {
-        return io::readBinary(cachePath);
+        try {
+            return io::readBinary(cachePath);
+        } catch (const std::exception& e) {
+            // A truncated or stale cache (killed run, format change) must
+            // not wedge the whole benchmark suite: regenerate instead.
+            logWarn("loadReplica: corrupt cache ", cachePath, " (", e.what(),
+                    "), regenerating");
+            std::filesystem::remove(cachePath);
+        }
     }
     Random::setSeed(nameSeed(spec.name));
     Graph g = spec.make();

@@ -27,6 +27,11 @@
 #include "structures/union_find.hpp"
 
 #include "io/binary_io.hpp"
+#include "io/io_error.hpp"
+#include "io/mapped_file.hpp"
+#include "io/parallel_edgelist.hpp"
+#include "io/parallel_metis.hpp"
+#include "io/parse_options.hpp"
 #include "io/dot_writer.hpp"
 #include "io/gml_io.hpp"
 #include "io/edgelist_io.hpp"

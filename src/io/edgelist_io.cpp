@@ -1,100 +1,25 @@
 #include "io/edgelist_io.hpp"
 
-#include <charconv>
-#include <cstring>
-#include <cstdio>
 #include <fstream>
-#include <sstream>
-#include <unordered_map>
 
-#include "graph/graph_builder.hpp"
+#include "io/parallel_edgelist.hpp"
+#include "io/text_scanner.hpp"
 
 namespace grapr::io {
 
-namespace {
-
-bool isCommentOrBlank(const std::string& line, char comment) {
-    for (char c : line) {
-        if (c == ' ' || c == '\t' || c == '\r') continue;
-        return c == comment || c == '%';
-    }
-    return true;
-}
-
-} // namespace
-
 Graph readEdgeList(const std::string& path, const EdgeListOptions& options,
                    std::vector<std::uint64_t>* originalIds) {
-    std::ifstream in(path);
-    if (!in) fail("readEdgeList: cannot open " + path);
-
-    std::unordered_map<std::uint64_t, node> remap;
-    std::vector<std::uint64_t> original;
-    struct RawEdge {
-        node u, v;
-        edgeweight w;
-    };
-    std::vector<RawEdge> edges;
-
-    auto mapId = [&](std::uint64_t raw) -> node {
-        auto [it, inserted] =
-            remap.emplace(raw, static_cast<node>(original.size()));
-        if (inserted) original.push_back(raw);
-        return it->second;
-    };
-
-    // Header written by writeEdgeList ("# grapr edge list: n=<N> m=<M>")
-    // pins the node count, so isolated nodes and raw ids survive the round
-    // trip; foreign files without it get first-appearance remapping.
-    count declaredN = 0;
-    bool haveDeclaredN = false;
-
-    std::string line;
-    count lineNumber = 0;
-    while (std::getline(in, line)) {
-        ++lineNumber;
-        if (isCommentOrBlank(line, options.comment)) {
-            const auto marker = line.find("grapr edge list: n=");
-            if (marker != std::string::npos) {
-                declaredN = std::strtoull(
-                    line.c_str() + marker + std::strlen("grapr edge list: n="),
-                    nullptr, 10);
-                haveDeclaredN = true;
-            }
-            continue;
-        }
-        std::istringstream fields(line);
-        std::uint64_t ru = 0, rv = 0;
-        if (!(fields >> ru >> rv)) {
-            fail("readEdgeList: malformed line " + std::to_string(lineNumber) +
-                 " in " + path);
-        }
-        edgeweight w = 1.0;
-        if (options.weighted && !(fields >> w)) {
-            fail("readEdgeList: missing weight on line " +
-                 std::to_string(lineNumber) + " in " + path);
-        }
-        if (haveDeclaredN) {
-            require(ru < declaredN && rv < declaredN,
-                    "readEdgeList: node id exceeds declared n");
-            edges.push_back({static_cast<node>(ru), static_cast<node>(rv), w});
-        } else {
-            edges.push_back({mapId(ru), mapId(rv), w});
-        }
-    }
-
-    if (haveDeclaredN) {
-        original.resize(declaredN);
-        for (count v = 0; v < declaredN; ++v) original[v] = v;
-    }
-    GraphBuilder builder(original.size(), options.weighted);
-    for (const auto& e : edges) builder.addEdge(e.u, e.v, e.w);
-    // Directed inputs list most edges twice (u v and v u); dedup collapses
-    // them to one undirected edge.
-    Graph g = builder.build(/*dedup=*/options.directedInput,
-                            /*sumWeights=*/false);
-    if (originalIds) *originalIds = std::move(original);
-    return g;
+    // Route through the parallel mmap pipeline (parallel_edgelist.hpp):
+    // chunked tokenisation, two-pass CSR build, then one thaw back into
+    // the mutable Graph for this adjacency-list-returning API. Semantics
+    // (first-appearance remap, "grapr edge list: n=" header handling,
+    // directed-input dedup, strict errors) are unchanged; errors are now
+    // IoError with the exact line and byte offset.
+    ParseOptions parseOptions;
+    parseOptions.weighted = options.weighted;
+    parseOptions.directedInput = options.directedInput;
+    parseOptions.comment = options.comment;
+    return readEdgeListCsr(path, parseOptions, originalIds).toGraph();
 }
 
 void writeEdgeList(const Graph& g, const std::string& path, bool withWeights) {
@@ -104,7 +29,8 @@ void writeEdgeList(const Graph& g, const std::string& path, bool withWeights) {
         << " m=" << g.numberOfEdges() << "\n";
     g.forEdges([&](node u, node v, edgeweight w) {
         out << u << '\t' << v;
-        if (withWeights) out << '\t' << w;
+        // Shortest round-trip form: re-reading restores w bit-exactly.
+        if (withWeights) out << '\t' << scan::formatWeight(w);
         out << '\n';
     });
     if (!out) fail("writeEdgeList: write error on " + path);

@@ -1,0 +1,129 @@
+#include "io/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "io/io_error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GRAPR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GRAPR_HAVE_MMAP 0
+#endif
+
+namespace grapr::io {
+
+namespace {
+
+bool mmapDisabled() {
+    const char* env = std::getenv("GRAPR_IO_NO_MMAP");
+    return env && env[0] == '1';
+}
+
+/// stdio fallback: read the whole file into a heap buffer.
+std::vector<char> readWhole(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        throw IoError(path, 0, 0,
+                      std::string("cannot open: ") + std::strerror(errno));
+    }
+    std::vector<char> buffer;
+    char block[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(block, 1, sizeof block, f)) > 0) {
+        buffer.insert(buffer.end(), block, block + got);
+    }
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed) throw IoError(path, 0, 0, "read error");
+    return buffer;
+}
+
+} // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+#if GRAPR_HAVE_MMAP
+    if (!mmapDisabled()) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            throw IoError(path, 0, 0,
+                          std::string("cannot open: ") + std::strerror(errno));
+        }
+        struct stat st {};
+        if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+            ::close(fd);
+            throw IoError(path, 0, 0, "not a regular file");
+        }
+        size_ = static_cast<std::size_t>(st.st_size);
+        if (size_ == 0) {
+            // mmap of length 0 is invalid; an empty file needs no bytes.
+            ::close(fd);
+            data_ = "";
+            return;
+        }
+        void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd); // the mapping keeps its own reference
+        if (map != MAP_FAILED) {
+#ifdef POSIX_MADV_SEQUENTIAL
+            ::posix_madvise(map, size_, POSIX_MADV_SEQUENTIAL);
+#endif
+            data_ = static_cast<const char*>(map);
+            mapped_ = true;
+            return;
+        }
+        // fall through to the read() path (e.g. mmap-hostile filesystems)
+    }
+#endif
+    fallback_ = readWhole(path);
+    data_ = fallback_.empty() ? "" : fallback_.data();
+    size_ = fallback_.size();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+    if (!mapped_) data_ = fallback_.empty() ? "" : fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+        reset();
+        data_ = other.data_;
+        size_ = other.size_;
+        mapped_ = other.mapped_;
+        fallback_ = std::move(other.fallback_);
+        if (!mapped_) data_ = fallback_.empty() ? "" : fallback_.data();
+        other.data_ = nullptr;
+        other.size_ = 0;
+        other.mapped_ = false;
+    }
+    return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+#if GRAPR_HAVE_MMAP
+    if (mapped_ && data_ != nullptr) {
+        ::munmap(const_cast<char*>(data_), size_);
+    }
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+    fallback_.clear();
+}
+
+} // namespace grapr::io

@@ -1,0 +1,45 @@
+#pragma once
+// MappedFile — read-only whole-file access for the parallel parsers.
+//
+// On POSIX platforms the file is mmap()ed (MAP_PRIVATE, PROT_READ, with a
+// sequential-access advice), so parsing threads fault pages in on demand
+// and the kernel's readahead streams the file — no copy into user space.
+// On non-POSIX platforms, or when the environment variable
+// GRAPR_IO_NO_MMAP=1 is set (also used by the tests to exercise the
+// fallback), the file is read() into one heap buffer instead; either way
+// the parser sees a single contiguous [data, data+size) byte range.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace grapr::io {
+
+class MappedFile {
+public:
+    /// Map (or read) `path`. Throws IoError when the file cannot be
+    /// opened or read.
+    explicit MappedFile(const std::string& path);
+
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+    MappedFile(MappedFile&& other) noexcept;
+    MappedFile& operator=(MappedFile&& other) noexcept;
+    ~MappedFile();
+
+    const char* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+
+    /// True when the contents are an actual mmap (false: heap fallback).
+    bool usedMmap() const noexcept { return mapped_; }
+
+private:
+    void reset() noexcept;
+
+    const char* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<char> fallback_; // owns the bytes when !mapped_
+};
+
+} // namespace grapr::io

@@ -1,69 +1,24 @@
 #include "io/metis_io.hpp"
 
 #include <fstream>
-#include <sstream>
 
-#include "support/logging.hpp"
+#include "io/parallel_metis.hpp"
+#include "io/text_scanner.hpp"
 
 namespace grapr::io {
 
 Graph readMetis(const std::string& path) {
-    std::ifstream in(path);
-    if (!in) fail("readMetis: cannot open " + path);
+    ParseOptions options;
+    options.strict = false;
+    return readMetis(path, options);
+}
 
-    std::string line;
-    // Header: skip comment lines (starting with '%').
-    count n = 0, m = 0;
-    int fmt = 0;
-    for (;;) {
-        if (!std::getline(in, line)) fail("readMetis: missing header in " + path);
-        if (!line.empty() && line[0] == '%') continue;
-        std::istringstream header(line);
-        if (!(header >> n >> m)) fail("readMetis: malformed header in " + path);
-        header >> fmt; // optional; 0 if absent
-        break;
-    }
-    const bool hasEdgeWeights = (fmt % 10) == 1;
-    require(fmt == 0 || fmt == 1,
-            "readMetis: only fmt 0 (plain) and 1 (edge weights) supported");
-
-    Graph g(n, hasEdgeWeights);
-    count vertex = 0;
-    count edgesSeen = 0;
-    while (vertex < n && std::getline(in, line)) {
-        if (!line.empty() && line[0] == '%') continue;
-        const node u = static_cast<node>(vertex);
-        ++vertex;
-        std::istringstream fields(line);
-        count neighbor1Based;
-        while (fields >> neighbor1Based) {
-            require(neighbor1Based >= 1 && neighbor1Based <= n,
-                    "readMetis: neighbor id out of range");
-            const node v = static_cast<node>(neighbor1Based - 1);
-            edgeweight w = 1.0;
-            if (hasEdgeWeights) {
-                if (!(fields >> w)) fail("readMetis: missing edge weight");
-            }
-            // Every edge appears in both endpoint lines; insert on the
-            // lexicographically smaller side. Self-loops appear once per
-            // mention; METIS does not normally contain them, but tolerate.
-            if (v > u) {
-                g.addEdge(u, v, w);
-                ++edgesSeen;
-            } else if (v == u) {
-                g.addEdge(u, v, w);
-                ++edgesSeen;
-            }
-        }
-    }
-    require(vertex == n, "readMetis: fewer adjacency lines than nodes");
-    if (edgesSeen != m) {
-        // Tolerate: some DIMACS files count self-loops differently. The
-        // graph as parsed is still consistent.
-        logWarn("readMetis: header declares ", m, " edges but ", edgesSeen,
-                " were parsed (", path, ")");
-    }
-    return g;
+Graph readMetis(const std::string& path, const ParseOptions& options) {
+    // Parallel mmap pipeline straight to CSR, thawed once for this
+    // adjacency-list-returning API. Adjacency order now matches the file
+    // rows verbatim (the legacy reader reinserted edges smaller-endpoint
+    // first); the edge set is identical.
+    return readMetisCsr(path, options).toGraph();
 }
 
 void writeMetis(const Graph& g, const std::string& path) {
@@ -81,7 +36,8 @@ void writeMetis(const Graph& g, const std::string& path) {
             if (!first) out << ' ';
             first = false;
             out << (v + 1);
-            if (weighted) out << ' ' << w;
+            // Shortest round-trip form: re-reading restores w bit-exactly.
+            if (weighted) out << ' ' << scan::formatWeight(w);
         });
         out << '\n';
     }

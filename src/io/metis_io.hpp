@@ -6,14 +6,29 @@
 // of the format grapr supports; node weights are not used by community
 // detection). Line i (1-based) lists the neighbors of node i, ids 1-based,
 // optionally interleaved with edge weights.
+//
+// Reading runs on the parallel mmap pipeline (parallel_metis.hpp) and
+// reports malformed input as io::IoError with line/byte location. The
+// one-argument readMetis defaults to permissive mode — DIMACS files in
+// the wild routinely declare an edge count that disagrees with the body,
+// which is warned about, not fatal. Pass ParseOptions{.strict = true} to
+// make every disagreement (junk tokens, header-vs-actual edge count) an
+// error.
 
 #include <string>
 
 #include "graph/graph.hpp"
+#include "io/parse_options.hpp"
 
 namespace grapr::io {
 
+/// Read a METIS file permissively (count mismatches warn, junk tokens are
+/// dropped with a warning; structural violations still throw IoError).
 Graph readMetis(const std::string& path);
+
+/// Read a METIS file with explicit options (strict mode: any
+/// header/content disagreement throws IoError).
+Graph readMetis(const std::string& path, const ParseOptions& options);
 
 void writeMetis(const Graph& g, const std::string& path);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include "io/binary_io.hpp"
 #include "io/dot_writer.hpp"
 #include "io/edgelist_io.hpp"
+#include "io/io_error.hpp"
 #include "io/metis_io.hpp"
 #include "io/partition_io.hpp"
 #include "support/random.hpp"
@@ -233,4 +235,66 @@ TEST_F(IoTest, BinarySurvivesEmptyGraph) {
     Graph loaded = io::readBinary(path("empty.grpr"));
     EXPECT_EQ(loaded.numberOfNodes(), 7u);
     EXPECT_EQ(loaded.numberOfEdges(), 0u);
+}
+
+TEST_F(IoTest, MetisStrictRejectsHeaderEdgeCountMismatch) {
+    // Regression: readMetis used to accept a header edge count that
+    // disagrees with the edges actually present in every mode. Now the
+    // one-arg (permissive) overload still tolerates it with a warning,
+    // but strict mode reports the header line as malformed.
+    {
+        std::ofstream out(path("mismatch.metis"));
+        out << "3 2\n2 3\n1 3\n1 2\n"; // a triangle: 3 edges, header says 2
+    }
+    Graph tolerant = io::readMetis(path("mismatch.metis"));
+    EXPECT_EQ(tolerant.numberOfEdges(), 3u);
+
+    io::ParseOptions strict; // strict = true by default
+    try {
+        io::readMetis(path("mismatch.metis"), strict);
+        FAIL() << "expected IoError for header/body edge-count mismatch";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.line(), 1u); // the lying header is the malformed line
+        EXPECT_NE(std::string(e.what()).find("edges but"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(IoTest, EdgeListWeightedRoundTripPreservesNonIntegerWeights) {
+    Graph g(5, true);
+    g.addEdge(0, 1, 0.1);
+    g.addEdge(1, 2, 2.5e-3);
+    g.addEdge(2, 3, 1.0 / 3.0);
+    g.addEdge(3, 4, 12345.678901234567);
+    g.addEdge(4, 0, 1e-12);
+    io::writeEdgeList(g, path("wrt.tsv"), /*withWeights=*/true);
+
+    io::EdgeListOptions options;
+    options.weighted = true;
+    Graph loaded = io::readEdgeList(path("wrt.tsv"), options);
+    ASSERT_EQ(loaded.numberOfEdges(), g.numberOfEdges());
+    g.forEdges([&](node u, node v, edgeweight w) {
+        EXPECT_NEAR(loaded.weight(u, v), w, 1e-9 * (1.0 + std::abs(w)))
+            << u << "-" << v;
+        // The writer emits shortest round-trip decimals, so the weights
+        // are in fact bit-exact, not merely within tolerance.
+        EXPECT_EQ(loaded.weight(u, v), w) << u << "-" << v;
+    });
+}
+
+TEST_F(IoTest, MetisWeightedRoundTripPreservesNonIntegerWeights) {
+    Graph g(4, true);
+    g.addEdge(0, 1, 0.1);
+    g.addEdge(1, 2, 2.5e-3);
+    g.addEdge(2, 3, 0.7071067811865476);
+    g.addEdge(0, 3, 9876.54321);
+    io::writeMetis(g, path("wrt.metis"));
+
+    Graph loaded = io::readMetis(path("wrt.metis"));
+    ASSERT_EQ(loaded.numberOfEdges(), g.numberOfEdges());
+    g.forEdges([&](node u, node v, edgeweight w) {
+        EXPECT_NEAR(loaded.weight(u, v), w, 1e-9 * (1.0 + std::abs(w)))
+            << u << "-" << v;
+        EXPECT_EQ(loaded.weight(u, v), w) << u << "-" << v;
+    });
 }

@@ -1,0 +1,312 @@
+// Deterministic mutation fuzzing of the parallel parsers. Valid edge-list
+// and METIS byte buffers are mutated ~200 ways each (truncations,
+// bit-flips, token/line deletions, duplications, random insertions, byte
+// swaps) with a fixed seed, and every mutant is fed to parseEdgeListCsr /
+// parseMetisCsr under strict and permissive options and several thread
+// counts. The contract under test: the parser either succeeds and returns
+// a structurally sane CsrGraph, or throws io::IoError with a sane location
+// — it never crashes, hangs, throws anything else, or returns garbage.
+//
+// Set GRAPR_FUZZ_CORPUS_DIR to dump every mutant to disk (one file per
+// case) for replay under a sanitizer build or external fuzzers.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "generators/erdos_renyi.hpp"
+#include "graph/csr_graph.hpp"
+#include "io/edgelist_io.hpp"
+#include "io/io_error.hpp"
+#include "io/metis_io.hpp"
+#include "io/parallel_edgelist.hpp"
+#include "io/parallel_metis.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+namespace {
+
+constexpr int kMutantsPerFormat = 200;
+constexpr unsigned kFuzzSeed = 0xC0FFEE;
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/// One random structural mutation of `bytes` (never a no-op on non-empty
+/// input, except when the chosen edit happens to rewrite a byte to itself
+/// — harmless: the parser must handle the original bytes too).
+std::string mutate(const std::string& bytes, std::mt19937& rng) {
+    std::string out = bytes;
+    const auto pick = [&](std::size_t bound) {
+        return static_cast<std::size_t>(rng() % bound);
+    };
+    switch (rng() % 8) {
+    case 0: // truncate at a random point
+        out.resize(out.empty() ? 0 : pick(out.size()));
+        break;
+    case 1: // flip one bit
+        if (!out.empty()) {
+            const std::size_t i = pick(out.size());
+            out[i] = static_cast<char>(out[i] ^ (1 << (rng() % 8)));
+        }
+        break;
+    case 2: { // delete one whitespace-delimited token
+        if (out.empty()) break;
+        std::size_t start = pick(out.size());
+        while (start > 0 && !std::isspace(static_cast<unsigned char>(
+                                out[start - 1]))) {
+            --start;
+        }
+        std::size_t end = start;
+        while (end < out.size() &&
+               !std::isspace(static_cast<unsigned char>(out[end]))) {
+            ++end;
+        }
+        out.erase(start, end - start);
+        break;
+    }
+    case 3: { // delete one line
+        if (out.empty()) break;
+        std::size_t start = pick(out.size());
+        while (start > 0 && out[start - 1] != '\n') --start;
+        std::size_t end = out.find('\n', start);
+        end = end == std::string::npos ? out.size() : end + 1;
+        out.erase(start, end - start);
+        break;
+    }
+    case 4: { // duplicate one line
+        if (out.empty()) break;
+        std::size_t start = pick(out.size());
+        while (start > 0 && out[start - 1] != '\n') --start;
+        std::size_t end = out.find('\n', start);
+        end = end == std::string::npos ? out.size() : end + 1;
+        out.insert(start, out.substr(start, end - start));
+        break;
+    }
+    case 5: { // insert 1-8 random bytes
+        const std::size_t count = 1 + pick(8);
+        std::string junk;
+        for (std::size_t i = 0; i < count; ++i) {
+            junk += static_cast<char>(rng() % 256);
+        }
+        out.insert(out.empty() ? 0 : pick(out.size() + 1), junk);
+        break;
+    }
+    case 6: // overwrite one byte with a hostile value
+        if (!out.empty()) {
+            constexpr char hostile[] = {'-', '+', '.', 'e', '\0', '\n',
+                                        ' ',  '9', char(0xFF)};
+            out[pick(out.size())] = hostile[rng() % sizeof(hostile)];
+        }
+        break;
+    case 7: // swap two adjacent bytes
+        if (out.size() >= 2) {
+            const std::size_t i = pick(out.size() - 1);
+            std::swap(out[i], out[i + 1]);
+        }
+        break;
+    }
+    return out;
+}
+
+std::size_t lineCount(const std::string& bytes) {
+    std::size_t lines = 0;
+    for (const char c : bytes) lines += c == '\n';
+    return lines + 1; // a final unterminated line still counts
+}
+
+/// The invariants a successful parse must satisfy regardless of input.
+void expectSaneGraph(const CsrGraph& g, const std::string& label) {
+    const auto& offsets = g.offsets();
+    ASSERT_EQ(offsets.size(), g.upperNodeIdBound() + 1) << label;
+    ASSERT_EQ(offsets.front(), 0u) << label;
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+        ASSERT_LE(offsets[i - 1], offsets[i]) << label;
+    }
+    ASSERT_EQ(g.neighborArray().size(), offsets.back()) << label;
+    for (const node v : g.neighborArray()) {
+        ASSERT_LT(v, g.upperNodeIdBound()) << label;
+    }
+    if (g.isWeighted()) {
+        ASSERT_EQ(g.weightArray().size(), g.neighborArray().size()) << label;
+    } else {
+        ASSERT_TRUE(g.weightArray().empty()) << label;
+    }
+}
+
+/// The invariants a failed parse must satisfy: an IoError whose location
+/// actually points into (or just past) the input.
+void expectSaneError(const io::IoError& e, const std::string& bytes,
+                     const std::string& label) {
+    EXPECT_LE(e.byteOffset(), bytes.size()) << label;
+    EXPECT_LE(e.line(), lineCount(bytes) + 1) << label;
+    EXPECT_FALSE(std::string(e.what()).empty()) << label;
+}
+
+void maybeDumpMutant(const std::string& bytes, const std::string& name) {
+    const char* dir = std::getenv("GRAPR_FUZZ_CORPUS_DIR");
+    if (!dir) return;
+    std::filesystem::create_directories(dir);
+    std::ofstream out(std::filesystem::path(dir) / name, std::ios::binary);
+    out << bytes;
+}
+
+template <typename ParseFn>
+void fuzzFormat(const std::string& base, const std::string& formatName,
+                ParseFn&& parse) {
+    std::mt19937 rng(kFuzzSeed);
+    for (int i = 0; i < kMutantsPerFormat; ++i) {
+        std::string mutant = mutate(base, rng);
+        // Occasionally stack a second mutation for compound corruption.
+        if (rng() % 4 == 0) mutant = mutate(mutant, rng);
+        const std::string name =
+            formatName + "_" + std::to_string(i) + ".bin";
+        maybeDumpMutant(mutant, name);
+
+        for (const bool strict : {true, false}) {
+            for (const int threads : {1, 3}) {
+                io::ParseOptions options;
+                options.strict = strict;
+                options.threads = threads;
+                const std::string label = name +
+                                          " strict=" + std::to_string(strict) +
+                                          " threads=" + std::to_string(threads);
+                try {
+                    expectSaneGraph(parse(mutant, name, options), label);
+                } catch (const io::IoError& e) {
+                    expectSaneError(e, mutant, label);
+                } catch (const std::exception& e) {
+                    FAIL() << label << ": non-IoError exception escaped: "
+                           << e.what();
+                }
+            }
+        }
+    }
+}
+
+std::string edgeListBase() {
+    Random::setSeed(1337);
+    const Graph g = ErdosRenyiGenerator(60, 0.08).generate();
+    const auto path = std::filesystem::temp_directory_path() /
+                      "grapr_fuzz_base_edgelist.tsv";
+    io::writeEdgeList(g, path.string(), /*withWeights=*/true);
+    std::string bytes = slurp(path.string());
+    std::filesystem::remove(path);
+    return bytes;
+}
+
+std::string metisBase() {
+    Random::setSeed(1338);
+    const Graph g = ErdosRenyiGenerator(60, 0.08).generate();
+    const auto path = std::filesystem::temp_directory_path() /
+                      "grapr_fuzz_base.metis";
+    io::writeMetis(g, path.string());
+    std::string bytes = slurp(path.string());
+    std::filesystem::remove(path);
+    return bytes;
+}
+
+} // namespace
+
+TEST(IoFuzzTest, EdgeListMutantsNeverCrash) {
+    const std::string base = edgeListBase();
+    ASSERT_FALSE(base.empty());
+    fuzzFormat(base, "edgelist",
+               [](const std::string& bytes, const std::string& name,
+                  const io::ParseOptions& options) {
+                   io::ParseOptions o = options;
+                   o.weighted = true;
+                   return io::parseEdgeListCsr(bytes.data(), bytes.size(),
+                                               name, o);
+               });
+}
+
+TEST(IoFuzzTest, EdgeListMutantsUnweightedView) {
+    // The same mutants parsed as unweighted exercise the "extra trailing
+    // token" path instead of the weight parser.
+    const std::string base = edgeListBase();
+    fuzzFormat(base, "edgelist_unweighted",
+               [](const std::string& bytes, const std::string& name,
+                  const io::ParseOptions& options) {
+                   return io::parseEdgeListCsr(bytes.data(), bytes.size(),
+                                               name, options);
+               });
+}
+
+TEST(IoFuzzTest, MetisMutantsNeverCrash) {
+    const std::string base = metisBase();
+    ASSERT_FALSE(base.empty());
+    fuzzFormat(base, "metis",
+               [](const std::string& bytes, const std::string& name,
+                  const io::ParseOptions& options) {
+                   return io::parseMetisCsr(bytes.data(), bytes.size(), name,
+                                            options);
+               });
+}
+
+TEST(IoFuzzTest, DegenerateInputsAreHandled) {
+    // Hand-picked pathological inputs that mutation might miss.
+    const std::vector<std::string> cases = {
+        "",
+        "\n",
+        "\n\n\n\n",
+        "#",
+        "%",
+        std::string(1, '\0'),
+        std::string(4096, ' '),
+        std::string(4096, '\n'),
+        "0",
+        "0 ",
+        "0 1 ",
+        "18446744073709551615 18446744073709551615\n", // u64 max ids
+        "18446744073709551616 0\n",                    // u64 overflow
+        "0 1\r",
+        "# grapr edge list: n=0 m=0\n",
+        "# grapr edge list: n=99999999999999999999\n0 1\n",
+        "1e9 2\n",
+        "0x10 3\n",
+        "-1 2\n",
+        "0 1 nan\n",
+        "0 1 inf\n",
+        "0 1 1e400\n", // weight overflows double
+    };
+    for (const std::string& bytes : cases) {
+        for (const bool strict : {true, false}) {
+            io::ParseOptions options;
+            options.strict = strict;
+            const std::string label =
+                "degenerate strict=" + std::to_string(strict);
+            try {
+                expectSaneGraph(io::parseEdgeListCsr(bytes.data(),
+                                                     bytes.size(), "degen",
+                                                     options),
+                                label);
+            } catch (const io::IoError& e) {
+                expectSaneError(e, bytes, label);
+            } catch (const std::exception& e) {
+                FAIL() << label << ": non-IoError exception escaped: "
+                       << e.what();
+            }
+            try {
+                expectSaneGraph(io::parseMetisCsr(bytes.data(), bytes.size(),
+                                                  "degen", options),
+                                label + " metis");
+            } catch (const io::IoError& e) {
+                expectSaneError(e, bytes, label + " metis");
+            } catch (const std::exception& e) {
+                FAIL() << label << " metis: non-IoError exception escaped: "
+                       << e.what();
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+// Property tests for the parallel mmap ingestion pipeline
+// (parallel_edgelist / parallel_metis): the parallel parser must produce a
+// CsrGraph that is bit-identical — offsets, neighbor order, weights — to
+// the sequential (threads=1) parse, across graph families (ER/BA/RMAT),
+// every ParseOptions combination, and thread counts 1/2/4; plus the chunk
+// boundary cases (file not ending in a newline, CRLF line endings, empty
+// lines, comment-only files, tokens adjacent to chunk split points), the
+// mmap read() fallback, and the IoError location contract.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "generators/barabasi_albert.hpp"
+#include "generators/erdos_renyi.hpp"
+#include "generators/rmat.hpp"
+#include "graph/csr_graph.hpp"
+#include "io/edgelist_io.hpp"
+#include "io/io_error.hpp"
+#include "io/mapped_file.hpp"
+#include "io/metis_io.hpp"
+#include "io/parallel_edgelist.hpp"
+#include "io/parallel_metis.hpp"
+#include "support/random.hpp"
+
+using namespace grapr;
+
+namespace {
+
+class ParallelIoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto stamp =
+            std::chrono::steady_clock::now().time_since_epoch().count();
+        dir_ = std::filesystem::temp_directory_path() /
+               ("grapr_pio_test_" + std::to_string(stamp));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string path(const std::string& name) const {
+        return (dir_ / name).string();
+    }
+
+    std::string write(const std::string& name, const std::string& content) {
+        const std::string p = path(name);
+        std::ofstream out(p, std::ios::binary);
+        out << content;
+        return p;
+    }
+
+    std::filesystem::path dir_;
+};
+
+/// Bit-identical CSR comparison: the property the parallel build claims.
+void expectSameCsr(const CsrGraph& a, const CsrGraph& b,
+                   const std::string& what) {
+    ASSERT_EQ(a.offsets(), b.offsets()) << what;
+    ASSERT_EQ(a.neighborArray(), b.neighborArray()) << what;
+    ASSERT_EQ(a.weightArray(), b.weightArray()) << what;
+    EXPECT_EQ(a.numberOfNodes(), b.numberOfNodes()) << what;
+    EXPECT_EQ(a.numberOfEdges(), b.numberOfEdges()) << what;
+    EXPECT_EQ(a.numberOfSelfLoops(), b.numberOfSelfLoops()) << what;
+    EXPECT_EQ(a.isWeighted(), b.isWeighted()) << what;
+    EXPECT_NEAR(a.totalEdgeWeight(), b.totalEdgeWeight(),
+                1e-9 * (1.0 + std::abs(a.totalEdgeWeight())))
+        << what;
+}
+
+/// Weighted clone of g with deterministic, binary-exact weights.
+Graph withWeights(const Graph& g) {
+    Graph weighted(g.upperNodeIdBound(), true);
+    g.forEdges([&](node u, node v, edgeweight) {
+        weighted.addEdge(u, v, 0.25 + static_cast<double>((u * 31 + v) % 17) *
+                                          0.125);
+    });
+    return weighted;
+}
+
+struct Family {
+    std::string name;
+    Graph graph;
+};
+
+std::vector<Family> families() {
+    std::vector<Family> out;
+    Random::setSeed(501);
+    out.push_back({"er", ErdosRenyiGenerator(220, 0.04).generate()});
+    Random::setSeed(502);
+    out.push_back({"ba", BarabasiAlbertGenerator(400, 3).generate()});
+    Random::setSeed(503);
+    out.push_back({"rmat", RmatGenerator(9, 4).generate()});
+    return out;
+}
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+} // namespace
+
+// --- edge list: parallel == sequential across families and options -------
+
+TEST_F(ParallelIoTest, EdgeListParallelMatchesSequentialAcrossFamilies) {
+    for (const Family& family : families()) {
+        for (const bool weighted : {false, true}) {
+            const Graph g =
+                weighted ? withWeights(family.graph) : family.graph;
+            const std::string file = path(family.name + ".tsv");
+            io::writeEdgeList(g, file, weighted);
+
+            io::ParseOptions options;
+            options.weighted = weighted;
+            options.threads = 1;
+            const CsrGraph reference = io::readEdgeListCsr(file, options);
+
+            // The round trip preserves the graph (the file has a header,
+            // so ids and isolated nodes are pinned). Adjacency *order*
+            // legitimately differs from the generator's insertion order,
+            // so this check is structural.
+            EXPECT_TRUE(reference.toGraph().structurallyEquals(g))
+                << family.name;
+
+            for (const int threads : kThreadCounts) {
+                options.threads = threads;
+                std::vector<std::uint64_t> ids;
+                const CsrGraph parsed =
+                    io::readEdgeListCsr(file, options, &ids);
+                expectSameCsr(parsed, reference,
+                              family.name + " threads=" +
+                                  std::to_string(threads));
+                EXPECT_EQ(ids.size(), parsed.numberOfNodes());
+            }
+        }
+    }
+}
+
+TEST_F(ParallelIoTest, EdgeListRemapFirstAppearanceIndependentOfThreads) {
+    // Headerless file with sparse, shuffled raw ids: the remap must be
+    // first-appearance in file order no matter how the file is chunked.
+    Random::setSeed(77);
+    std::string content;
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t u = 1000 + static_cast<std::uint64_t>(
+                                           Random::integer(0, 120)) *
+                                           977;
+        const std::uint64_t v = 1000 + static_cast<std::uint64_t>(
+                                           Random::integer(0, 120)) *
+                                           977;
+        content += std::to_string(u) + " " + std::to_string(v) + "\n";
+    }
+    const std::string file = write("sparse.tsv", content);
+
+    io::ParseOptions options;
+    options.threads = 1;
+    std::vector<std::uint64_t> referenceIds;
+    const CsrGraph reference =
+        io::readEdgeListCsr(file, options, &referenceIds);
+    for (const int threads : {2, 4, 8}) {
+        options.threads = threads;
+        std::vector<std::uint64_t> ids;
+        const CsrGraph parsed = io::readEdgeListCsr(file, options, &ids);
+        expectSameCsr(parsed, reference,
+                      "remap threads=" + std::to_string(threads));
+        EXPECT_EQ(ids, referenceIds);
+    }
+}
+
+TEST_F(ParallelIoTest, EdgeListDirectedDedupAcrossThreads) {
+    // Directed dump: every edge twice plus genuine duplicates.
+    std::string content;
+    for (node u = 0; u < 60; ++u) {
+        const node v = (u * 7 + 3) % 60;
+        content += std::to_string(u) + " " + std::to_string(v) + "\n";
+        content += std::to_string(v) + " " + std::to_string(u) + "\n";
+        content += std::to_string(u) + " " + std::to_string(v) + "\n";
+    }
+    const std::string file = write("directed.tsv", content);
+
+    io::ParseOptions options;
+    options.directedInput = true;
+    options.threads = 1;
+    const CsrGraph reference = io::readEdgeListCsr(file, options);
+    for (const int threads : {2, 4}) {
+        options.threads = threads;
+        expectSameCsr(io::readEdgeListCsr(file, options), reference,
+                      "dedup threads=" + std::to_string(threads));
+    }
+    // Dedup agrees with the legacy adjacency-list route.
+    io::EdgeListOptions legacy;
+    legacy.directedInput = true;
+    EXPECT_TRUE(
+        io::readEdgeList(file, legacy).structurallyEquals(reference.toGraph()));
+}
+
+TEST_F(ParallelIoTest, EdgeListIndexBaseShiftsIds) {
+    const std::string file = write("onebased.tsv", "1 2\n2 3\n3 1\n");
+    io::ParseOptions options;
+    options.indexBase = 1;
+    options.remapIds = false;
+    const CsrGraph g = io::readEdgeListCsr(file, options);
+    EXPECT_EQ(g.numberOfNodes(), 3u);
+    EXPECT_EQ(g.numberOfEdges(), 3u);
+    Graph thawed = g.toGraph();
+    EXPECT_TRUE(thawed.hasEdge(0, 1));
+    EXPECT_TRUE(thawed.hasEdge(1, 2));
+    EXPECT_TRUE(thawed.hasEdge(2, 0));
+
+    // An id below the base is a parse error with a location.
+    const std::string bad = write("zero.tsv", "1 2\n0 2\n");
+    try {
+        io::readEdgeListCsr(bad, options);
+        FAIL() << "expected IoError";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+// --- chunk-boundary and byte-level cases ---------------------------------
+
+TEST_F(ParallelIoTest, EdgeListNoTrailingNewline) {
+    const std::string file = write("notrail.tsv", "0 1\n1 2\n2 3");
+    io::ParseOptions options;
+    for (const int threads : kThreadCounts) {
+        options.threads = threads;
+        const CsrGraph g = io::readEdgeListCsr(file, options);
+        EXPECT_EQ(g.numberOfNodes(), 4u);
+        EXPECT_EQ(g.numberOfEdges(), 3u);
+    }
+}
+
+TEST_F(ParallelIoTest, EdgeListCrlfAndEmptyLines) {
+    const std::string file = write(
+        "crlf.tsv", "# header\r\n0 1\r\n\r\n   \r\n1 2\r\n\n2 0\r\n");
+    io::ParseOptions options;
+    options.threads = 1;
+    const CsrGraph reference = io::readEdgeListCsr(file, options);
+    EXPECT_EQ(reference.numberOfNodes(), 3u);
+    EXPECT_EQ(reference.numberOfEdges(), 3u);
+    for (const int threads : {2, 4}) {
+        options.threads = threads;
+        expectSameCsr(io::readEdgeListCsr(file, options), reference, "crlf");
+    }
+}
+
+TEST_F(ParallelIoTest, EdgeListCommentOnlyAndEmptyFiles) {
+    const std::vector<std::string> contents = {
+        "", "# nothing\n% here\n\n", "#"};
+    for (const std::string& content : contents) {
+        const std::string file = write("empty.tsv", content);
+        for (const int threads : kThreadCounts) {
+            io::ParseOptions options;
+            options.threads = threads;
+            const CsrGraph g = io::readEdgeListCsr(file, options);
+            EXPECT_EQ(g.numberOfNodes(), 0u);
+            EXPECT_EQ(g.numberOfEdges(), 0u);
+        }
+    }
+}
+
+TEST_F(ParallelIoTest, EdgeListLongTokensNearChunkBoundaries) {
+    // Wide ids make it likely that a naive byte split would land inside a
+    // token; newline alignment must keep every parse identical.
+    std::string content;
+    for (int i = 0; i < 97; ++i) {
+        content += std::to_string(1000000000000ull + static_cast<unsigned long long>(i) * 7919) +
+                   "\t" +
+                   std::to_string(1000000000000ull + static_cast<unsigned long long>(i + 1) * 7919) +
+                   "\n";
+    }
+    const std::string file = write("wide.tsv", content);
+    io::ParseOptions options;
+    options.threads = 1;
+    std::vector<std::uint64_t> referenceIds;
+    const CsrGraph reference =
+        io::readEdgeListCsr(file, options, &referenceIds);
+    for (const int threads : {2, 3, 4, 5, 8, 13}) {
+        options.threads = threads;
+        std::vector<std::uint64_t> ids;
+        expectSameCsr(io::readEdgeListCsr(file, options, &ids), reference,
+                      "wide threads=" + std::to_string(threads));
+        EXPECT_EQ(ids, referenceIds);
+    }
+}
+
+TEST_F(ParallelIoTest, MoreThreadsThanLines) {
+    const std::string file = write("tiny.tsv", "0 1\n");
+    io::ParseOptions options;
+    options.threads = 16;
+    const CsrGraph g = io::readEdgeListCsr(file, options);
+    EXPECT_EQ(g.numberOfNodes(), 2u);
+    EXPECT_EQ(g.numberOfEdges(), 1u);
+}
+
+// --- mmap fallback -------------------------------------------------------
+
+TEST_F(ParallelIoTest, ReadFallbackMatchesMmap) {
+    Random::setSeed(91);
+    const Graph g = ErdosRenyiGenerator(150, 0.06).generate();
+    const std::string file = path("fallback.tsv");
+    io::writeEdgeList(g, file);
+
+    io::ParseOptions options;
+    options.threads = 4;
+    const CsrGraph viaMmap = io::readEdgeListCsr(file, options);
+    {
+        io::MappedFile mapped(file);
+        EXPECT_TRUE(mapped.usedMmap());
+    }
+
+    ::setenv("GRAPR_IO_NO_MMAP", "1", 1);
+    const CsrGraph viaRead = io::readEdgeListCsr(file, options);
+    {
+        io::MappedFile heap(file);
+        EXPECT_FALSE(heap.usedMmap());
+    }
+    ::unsetenv("GRAPR_IO_NO_MMAP");
+    expectSameCsr(viaRead, viaMmap, "read() fallback");
+}
+
+// --- strict vs permissive and error locations ----------------------------
+
+TEST_F(ParallelIoTest, StrictReportsExactLineAndOffset) {
+    const std::string file = write("bad.tsv", "0 1\nx y\n2 3\n");
+    try {
+        io::readEdgeListCsr(file);
+        FAIL() << "expected IoError";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.path(), file);
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.byteOffset(), 4u);
+    }
+}
+
+TEST_F(ParallelIoTest, FirstErrorWinsRegardlessOfThreads) {
+    std::string content;
+    for (int i = 0; i < 200; ++i) content += "0 1\n";
+    content += "broken!\n";
+    for (int i = 0; i < 200; ++i) content += "oops\n";
+    const std::string file = write("manybad.tsv", content);
+    for (const int threads : kThreadCounts) {
+        io::ParseOptions options;
+        options.threads = threads;
+        try {
+            io::readEdgeListCsr(file, options);
+            FAIL() << "expected IoError";
+        } catch (const io::IoError& e) {
+            EXPECT_EQ(e.line(), 201u)
+                << "threads=" << threads << ": " << e.what();
+        }
+    }
+}
+
+TEST_F(ParallelIoTest, PermissiveSkipsMalformedLines) {
+    const std::string file =
+        write("mixed.tsv", "0 1\nnot numbers\n1 2\n3\n2 0\n");
+    io::ParseOptions options;
+    options.strict = false;
+    for (const int threads : kThreadCounts) {
+        options.threads = threads;
+        const CsrGraph g = io::readEdgeListCsr(file, options);
+        EXPECT_EQ(g.numberOfNodes(), 3u);
+        EXPECT_EQ(g.numberOfEdges(), 3u);
+    }
+}
+
+TEST_F(ParallelIoTest, MissingFileThrowsIoErrorWithPath) {
+    try {
+        io::readEdgeListCsr(path("nope.tsv"));
+        FAIL() << "expected IoError";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.path(), path("nope.tsv"));
+        EXPECT_EQ(e.line(), 0u);
+    }
+}
+
+TEST_F(ParallelIoTest, DeclaredHeaderBoundsIds) {
+    const std::string file =
+        write("over.tsv", "# grapr edge list: n=3 m=1\n0 7\n");
+    EXPECT_THROW(io::readEdgeListCsr(file), io::IoError);
+    io::ParseOptions permissive;
+    permissive.strict = false;
+    const CsrGraph g = io::readEdgeListCsr(file, permissive);
+    EXPECT_EQ(g.numberOfNodes(), 3u);
+    EXPECT_EQ(g.numberOfEdges(), 0u);
+}
+
+// --- METIS ---------------------------------------------------------------
+
+TEST_F(ParallelIoTest, MetisParallelMatchesSequentialAcrossFamilies) {
+    for (const Family& family : families()) {
+        for (const bool weighted : {false, true}) {
+            const Graph g =
+                weighted ? withWeights(family.graph) : family.graph;
+            const std::string file = path(family.name + ".metis");
+            io::writeMetis(g, file);
+
+            io::ParseOptions options;
+            options.threads = 1;
+            const CsrGraph reference = io::readMetisCsr(file, options);
+            EXPECT_TRUE(reference.toGraph().structurallyEquals(g))
+                << family.name;
+            for (const int threads : kThreadCounts) {
+                options.threads = threads;
+                expectSameCsr(io::readMetisCsr(file, options), reference,
+                              family.name + " metis threads=" +
+                                  std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST_F(ParallelIoTest, MetisIsolatedNodesAndCommentsAcrossThreads) {
+    const std::string file = write(
+        "iso.metis", "% top comment\n6 2\n2\n1\n\n% middle comment\n5\n4\n\n");
+    io::ParseOptions options;
+    options.threads = 1;
+    options.strict = true;
+    const CsrGraph reference = io::readMetisCsr(file, options);
+    EXPECT_EQ(reference.numberOfNodes(), 6u);
+    EXPECT_EQ(reference.numberOfEdges(), 2u);
+    EXPECT_EQ(reference.degree(2), 0u);
+    for (const int threads : {2, 4, 8}) {
+        options.threads = threads;
+        expectSameCsr(io::readMetisCsr(file, options), reference,
+                      "metis iso threads=" + std::to_string(threads));
+    }
+}
+
+TEST_F(ParallelIoTest, MetisOutOfRangeNeighborThrowsInBothModes) {
+    const std::string file = write("range.metis", "2 1\n2\n9\n");
+    io::ParseOptions strict;
+    EXPECT_THROW(io::readMetisCsr(file, strict), io::IoError);
+    io::ParseOptions permissive;
+    permissive.strict = false;
+    EXPECT_THROW(io::readMetisCsr(file, permissive), io::IoError);
+}
+
+TEST_F(ParallelIoTest, MetisMissingRowsThrows) {
+    const std::string file = write("short.metis", "4 1\n2\n1\n");
+    EXPECT_THROW(io::readMetisCsr(file), io::IoError);
+}
+
+TEST_F(ParallelIoTest, MetisErrorLocationPointsAtBadToken) {
+    // Dropping the junk token must not desymmetrise the adjacency, so the
+    // permissive parse below can still freeze the graph.
+    const std::string file =
+        write("badtok.metis", "3 3\n2 3\n1 3 zzz\n1 2\n");
+    try {
+        io::readMetisCsr(file); // strict default
+        FAIL() << "expected IoError";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+    io::ParseOptions permissive;
+    permissive.strict = false;
+    const CsrGraph g = io::readMetisCsr(file, permissive);
+    EXPECT_EQ(g.numberOfNodes(), 3u); // junk token dropped with a warning
+}
+
+// --- buffer-level API ----------------------------------------------------
+
+TEST_F(ParallelIoTest, BufferParseMatchesFileParse) {
+    Random::setSeed(92);
+    const Graph g = ErdosRenyiGenerator(120, 0.05).generate();
+    const std::string file = path("buf.tsv");
+    io::writeEdgeList(g, file);
+    std::ifstream in(file, std::ios::binary);
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    io::ParseOptions options;
+    options.threads = 4;
+    expectSameCsr(
+        io::parseEdgeListCsr(bytes.data(), bytes.size(), "buf", options),
+        io::readEdgeListCsr(file, options), "buffer vs file");
+}

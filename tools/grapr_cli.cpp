@@ -47,7 +47,14 @@ namespace {
         "  local     --in FILE --seed NODE [--max-size N]\n"
         "  overlap   --in FILE [--memberships V] [--out FILE]\n"
         "  compare   --a PARTFILE --b PARTFILE [--graph FILE]\n"
-        "  convert   --in FILE --out FILE\n");
+        "  convert   --in FILE --out FILE\n"
+        "\n"
+        "loading options (any command that reads a graph):\n"
+        "  --permissive      skip malformed lines with a warning instead of\n"
+        "                    aborting with a parse error\n"
+        "  --io-threads N    parser threads for text formats (default: all)\n"
+        "  --weighted        edge-list files carry a third weight column\n"
+        "  --one-indexed     edge-list node ids start at 1, not 0\n");
     std::exit(2);
 }
 
@@ -99,12 +106,17 @@ bool endsWith(const std::string& s, const std::string& suffix) {
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Graph loadGraph(const std::string& path) {
+Graph loadGraph(const std::string& path, const Args& args) {
+    io::ParseOptions options;
+    options.strict = !args.has("permissive");
+    options.threads = static_cast<int>(args.integer("io-threads", 0));
+    options.weighted = args.has("weighted");
+    if (args.has("one-indexed")) options.indexBase = 1;
     if (endsWith(path, ".metis") || endsWith(path, ".graph")) {
-        return io::readMetis(path);
+        return io::readMetis(path, options);
     }
     if (endsWith(path, ".grpr")) return io::readBinary(path);
-    return io::readEdgeList(path);
+    return io::readEdgeListCsr(path, options).toGraph();
 }
 
 void saveGraph(const Graph& g, const std::string& path) {
@@ -193,7 +205,7 @@ int commandDetect(const Args& args) {
         Parallel::setThreads(static_cast<int>(args.integer("threads", 1)));
     }
     const std::string algorithmName = args.str("algo", "PLM");
-    Graph g = loadGraph(args.required("in"));
+    Graph g = loadGraph(args.required("in"), args);
     std::printf("graph: n=%llu m=%llu\n",
                 static_cast<unsigned long long>(g.numberOfNodes()),
                 static_cast<unsigned long long>(g.numberOfEdges()));
@@ -230,7 +242,7 @@ int commandDetect(const Args& args) {
 }
 
 int commandStats(const Args& args) {
-    Graph g = loadGraph(args.required("in"));
+    Graph g = loadGraph(args.required("in"), args);
     const GraphProfile profile =
         profileGraph(g, g.numberOfEdges() > 2000000 ? 1000000 : 0);
     std::printf("n               %llu\n",
@@ -259,7 +271,7 @@ int commandStats(const Args& args) {
 
 int commandLocal(const Args& args) {
     Random::setSeed(args.integer("seed-rng", 42));
-    Graph g = loadGraph(args.required("in"));
+    Graph g = loadGraph(args.required("in"), args);
     const node seed = static_cast<node>(args.integer("seed", 0));
     LocalExpansion expansion(args.integer("max-size", 1000));
     Timer timer;
@@ -281,7 +293,7 @@ int commandLocal(const Args& args) {
 
 int commandOverlap(const Args& args) {
     Random::setSeed(args.integer("seed", 42));
-    Graph g = loadGraph(args.required("in"));
+    Graph g = loadGraph(args.required("in"), args);
     OverlappingLpaConfig config;
     config.maxMemberships = args.integer("memberships", 2);
     OverlappingLpa lpa(config);
@@ -318,7 +330,7 @@ int commandCompare(const Args& args) {
     std::printf("rand     %.4f\n", randIndex(a, b));
     std::printf("nmi      %.4f\n", normalizedMutualInformation(a, b));
     if (args.has("graph")) {
-        Graph g = loadGraph(args.str("graph"));
+        Graph g = loadGraph(args.str("graph"), args);
         std::printf("modularity(a) %.4f\n", Modularity().getQuality(a, g));
         std::printf("modularity(b) %.4f\n", Modularity().getQuality(b, g));
         const ConductanceSummary phi = conductanceSummary(a, g);
@@ -329,7 +341,7 @@ int commandCompare(const Args& args) {
 }
 
 int commandConvert(const Args& args) {
-    Graph g = loadGraph(args.required("in"));
+    Graph g = loadGraph(args.required("in"), args);
     saveGraph(g, args.required("out"));
     std::printf("converted: n=%llu m=%llu -> %s\n",
                 static_cast<unsigned long long>(g.numberOfNodes()),
@@ -353,6 +365,16 @@ int main(int argc, char** argv) {
         if (command == "compare") return commandCompare(args);
         if (command == "convert") return commandConvert(args);
         usage("unknown command");
+    } catch (const io::IoError& e) {
+        // Structured parse errors carry their own location; print it the
+        // way compilers do so editors can jump to the offending line.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        if (e.line() > 0) {
+            std::fprintf(stderr,
+                         "hint: re-run with --permissive to skip malformed "
+                         "lines\n");
+        }
+        return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
