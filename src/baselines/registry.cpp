@@ -50,7 +50,7 @@ std::unique_ptr<CommunityDetector> makeDetector(const std::string& name) {
         const std::string baseName =
             inner.substr(firstComma + 1, secondComma - firstComma - 1);
         const std::string finalName = inner.substr(secondComma + 1);
-        auto makeByName = [](std::string algorithmName) -> DetectorMaker {
+        auto makeByName = [](const std::string& algorithmName) -> DetectorMaker {
             (void)makeDetector(algorithmName); // validate eagerly: throws
             return [algorithmName] { return makeDetector(algorithmName); };
         };

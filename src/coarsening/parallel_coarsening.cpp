@@ -81,7 +81,7 @@ CoarseningResult ParallelPartitionCoarsening::runParallel(
         static_cast<std::size_t>(threads));
 
     const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
-#pragma omp parallel
+#pragma omp parallel default(none) shared(g, partial, fineToCoarse, bound)
     {
         auto& local = partial[static_cast<std::size_t>(omp_get_thread_num())];
         local.reserve(1024);
@@ -104,10 +104,15 @@ CoarseningResult ParallelPartitionCoarsening::runParallel(
     // summation performs exactly the per-coarse-node merge, with the
     // scatter phase parallel.
     GraphBuilder builder(coarseNodes, true);
-#pragma omp parallel num_threads(threads)
-    {
-        const auto& local =
-            partial[static_cast<std::size_t>(omp_get_thread_num())];
+    // Worksharing over the partial maps, NOT one map per team member: the
+    // num_threads clause the old code relied on is only a request — with
+    // dynamic thread adjustment a smaller team would silently skip the
+    // unvisited partial maps, dropping coarse edges.
+    const auto nparts = static_cast<std::int64_t>(partial.size());
+#pragma omp parallel for default(none) shared(builder, partial, nparts)      \
+    schedule(static)
+    for (std::int64_t t = 0; t < nparts; ++t) {
+        const auto& local = partial[static_cast<std::size_t>(t)];
         for (const auto& [key, w] : local) {
             builder.addEdge(static_cast<node>(key >> 32),
                             static_cast<node>(key & 0xffffffffULL), w);
@@ -150,7 +155,8 @@ CsrCoarseningResult ParallelPartitionCoarsening::run(
         return c + 1 < coarseNodes ? rowStart[c + 1] : memberCount;
     };
     const auto scn = static_cast<std::int64_t>(coarseNodes);
-#pragma omp parallel for schedule(guided) if (parallel_)
+#pragma omp parallel for default(none)                                       \
+    shared(members, rowStart, bucketEnd, scn) schedule(guided) if (parallel_)
     for (std::int64_t c = 0; c < scn; ++c) {
         const auto cc = static_cast<count>(c);
         std::sort(members.begin() + static_cast<std::ptrdiff_t>(rowStart[cc]),
@@ -177,7 +183,9 @@ CsrCoarseningResult ParallelPartitionCoarsening::run(
 
     // Pass 1: coarse row lengths -> prefix sum -> CSR offsets.
     std::vector<count> rowLength(coarseNodes, 0);
-#pragma omp parallel for schedule(guided) if (parallel_)
+#pragma omp parallel for default(none)                                       \
+    shared(scratch, aggregate, rowLength, scn) schedule(guided)              \
+        if (parallel_)
     for (std::int64_t c = 0; c < scn; ++c) {
         SparseAccumulator& acc = scratch.local();
         aggregate(static_cast<count>(c), acc);
@@ -195,7 +203,9 @@ CsrCoarseningResult ParallelPartitionCoarsening::run(
     // id, directly into its CSR slice.
     std::vector<node> neighbors(entries);
     std::vector<edgeweight> weights(entries);
-#pragma omp parallel for schedule(guided) if (parallel_)
+#pragma omp parallel for default(none)                                       \
+    shared(scratch, aggregate, offsets, neighbors, weights, scn)             \
+    schedule(guided) if (parallel_)
     for (std::int64_t c = 0; c < scn; ++c) {
         const auto cc = static_cast<count>(c);
         SparseAccumulator& acc = scratch.local();

@@ -8,10 +8,14 @@ Partition ClusteringProjector::projectBack(
     const Partition& coarseSolution, const std::vector<node>& fineToCoarse) {
     Partition fine(fineToCoarse.size());
     const auto n = static_cast<std::int64_t>(fineToCoarse.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none)                                       \
+    shared(fine, coarseSolution, fineToCoarse, n) schedule(static)
     for (std::int64_t v = 0; v < n; ++v) {
         const node coarse = fineToCoarse[static_cast<std::size_t>(v)];
         if (coarse != none) {
+            // grapr:lint-allow(benign-race): not a published label — each
+            // fine node is written exactly once and `fine` is not read
+            // until the region ends.
             fine.set(static_cast<node>(v), coarseSolution[coarse]);
         }
     }

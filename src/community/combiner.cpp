@@ -29,7 +29,8 @@ Partition HashingCombiner::combine(
     // Parallel phase: hash each node's label vector.
     std::vector<std::uint64_t> hashes(n);
     const auto total = static_cast<std::int64_t>(n);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(baseSolutions, hashes, total)  \
+    schedule(static)
     for (std::int64_t sv = 0; sv < total; ++sv) {
         const node v = static_cast<node>(sv);
         std::uint64_t h = kDjb2Seed;

@@ -161,7 +161,7 @@ void DynamicPlm::update(const Graph& g) {
         }
         frontier.swap(next);
     }
-    for (node v : frontier) pending_.push_back(v);
+    pending_.insert(pending_.end(), frontier.begin(), frontier.end());
 }
 
 } // namespace grapr

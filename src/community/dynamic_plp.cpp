@@ -120,7 +120,7 @@ void DynamicPlp::update(const Graph& g) {
     }
     // Anything still active when the sweep cap hits stays pending for the
     // next update() call.
-    for (node v : frontier) pending_.push_back(v);
+    pending_.insert(pending_.end(), frontier.begin(), frontier.end());
 }
 
 } // namespace grapr

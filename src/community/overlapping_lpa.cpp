@@ -29,7 +29,8 @@ Cover OverlappingLpa::run(const Graph& g) {
     for (count iteration = 0; iteration < config_.maxIterations; ++iteration) {
         std::atomic<count> changed{0};
         const auto n = static_cast<std::int64_t>(bound);
-#pragma omp parallel
+#pragma omp parallel default(none)                                           \
+    shared(g, n, current, next, changed, threshold)
         {
             std::unordered_map<node, double> acc;
 #pragma omp for schedule(guided)

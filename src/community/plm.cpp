@@ -10,6 +10,7 @@
 #include "coarsening/projector.hpp"
 #include "quality/modularity.hpp"
 #include "support/parallel.hpp"
+#include "support/race_check.hpp"
 
 namespace grapr {
 
@@ -42,9 +43,12 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
     count totalMoves = 0;
     count iteration = 0;
     for (; iteration < maxIterations; ++iteration) {
+        GRAPR_RACE_PHASE("plm.move");
         count movedThisRound = 0;
         const auto n = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+#pragma omp parallel for default(none)                                       \
+    shared(g, zeta, communityVolume, nodeVolume, scratch, omegaE, gamma, n)  \
+    schedule(guided) reduction(+ : movedThisRound)
         for (std::int64_t su = 0; su < n; ++su) {
             const node u = static_cast<node>(su);
             if (!g.hasNode(u) || g.degree(u) == 0) continue;
@@ -61,8 +65,10 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
 
             const double volU = nodeVolume[u];
             const double weightToCurrent = acc[current];
-            // vol(C \ {u}): the community volume without u. Reads may be
-            // stale under concurrency — tolerated by design.
+            // vol(C \ {u}): the community volume without u.
+            // grapr:benign-race(communityVolume): stale snapshot tolerated
+            // by design — concurrent movers may change the volume between
+            // this read and the move (paper's asynchronous contract).
             double volCurrent;
 #pragma omp atomic read
             volCurrent = communityVolume[current];
@@ -73,6 +79,8 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
             for (index c : acc.touched()) {
                 const node candidate = static_cast<node>(c);
                 if (candidate == current) continue;
+                // grapr:benign-race(communityVolume): stale candidate
+                // volume tolerated by design (same contract as above).
                 double volCandidate;
 #pragma omp atomic read
                 volCandidate = communityVolume[candidate];
@@ -95,6 +103,10 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
                 communityVolume[current] -= volU;
 #pragma omp atomic
                 communityVolume[bestCommunity] += volU;
+                // grapr:benign-race(zeta): the new label is published
+                // non-atomically; concurrent neighbor scans may read the
+                // old or the new value (stale reads tolerated by design).
+                // Each node is written by exactly one thread per round.
                 zeta.set(u, bestCommunity);
                 ++movedThisRound;
             }
@@ -230,9 +242,13 @@ count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
 
     count totalMoves = 0;
     for (count iteration = 0; iteration < maxIterations; ++iteration) {
+        GRAPR_RACE_PHASE("plm.moveFrozen");
         count movedThisRound = 0;
         const auto n = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+#pragma omp parallel for default(none)                                       \
+    shared(offsets, neighbors, weights, zeta, scratch, communityVolume,      \
+               nodeVolume, twoOmega, gamma, n)                               \
+    schedule(guided) reduction(+ : movedThisRound)
         for (std::int64_t su = 0; su < n; ++su) {
             const node u = static_cast<node>(su);
             const index lo = offsets[u];
@@ -263,6 +279,8 @@ count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
 
             const double volU = nodeVolume[u];
             const double weightToCurrent = acc.get(current);
+            // grapr:benign-race(communityVolume): stale snapshot tolerated
+            // by design (asynchronous contract, see movePhaseImpl).
             double volCurrent;
 #pragma omp atomic read
             volCurrent = communityVolume[current];
@@ -280,6 +298,8 @@ count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
             }
             for (node candidate : acc.touched()) {
                 if (candidate == current) continue;
+                // grapr:benign-race(communityVolume): stale candidate
+                // volume tolerated by design (same contract as above).
                 double volCandidate;
 #pragma omp atomic read
                 volCandidate = communityVolume[candidate];
@@ -298,6 +318,9 @@ count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
                 communityVolume[current] -= volU;
 #pragma omp atomic
                 communityVolume[bestCommunity] += volU;
+                // grapr:benign-race(zeta): non-atomic label publish; stale
+                // reads tolerated, one writer per node per round (see
+                // movePhaseImpl).
                 zeta.set(u, bestCommunity);
                 ++movedThisRound;
             }
@@ -360,9 +383,13 @@ count movePhaseCachedMapsImpl(const GraphT& g, Partition& zeta, double gamma,
 
     count totalMoves = 0;
     for (count iteration = 0; iteration < maxIterations; ++iteration) {
+        GRAPR_RACE_PHASE("plm.moveCachedMaps");
         count movedThisRound = 0;
         const auto n = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(guided) reduction(+ : movedThisRound)
+#pragma omp parallel for default(none)                                       \
+    shared(g, zeta, communityVolume, nodeVolume, weightTo, locks, omegaE,    \
+               gamma, n)                                                     \
+    schedule(guided) reduction(+ : movedThisRound)
         for (std::int64_t su = 0; su < n; ++su) {
             const node u = static_cast<node>(su);
             if (!g.hasNode(u) || g.degree(u) == 0) continue;
@@ -377,12 +404,16 @@ count movePhaseCachedMapsImpl(const GraphT& g, Partition& zeta, double gamma,
                 const auto itCurrent = map.find(current);
                 const double weightToCurrent =
                     itCurrent == map.end() ? 0.0 : itCurrent->second;
+                // grapr:benign-race(communityVolume): stale snapshot
+                // tolerated by design (see movePhaseImpl).
                 double volCurrent;
 #pragma omp atomic read
                 volCurrent = communityVolume[current];
                 volCurrent -= volU;
                 for (const auto& [candidate, weight] : map) {
                     if (candidate == current) continue;
+                    // grapr:benign-race(communityVolume): stale candidate
+                    // volume tolerated by design (see movePhaseImpl).
                     double volCandidate;
 #pragma omp atomic read
                     volCandidate = communityVolume[candidate];
@@ -406,6 +437,9 @@ count movePhaseCachedMapsImpl(const GraphT& g, Partition& zeta, double gamma,
                 communityVolume[current] -= volU;
 #pragma omp atomic
                 communityVolume[bestCommunity] += volU;
+                // grapr:benign-race(zeta): non-atomic label publish; stale
+                // reads tolerated, one writer per node per round (see
+                // movePhaseImpl).
                 zeta.set(u, bestCommunity);
                 // Propagate the move into every neighbor's cached map.
                 g.forNeighborsOf(u, [&](node v, edgeweight w) {

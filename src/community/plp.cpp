@@ -4,6 +4,7 @@
 
 #include "graph/graph_tools.hpp"
 #include "support/parallel.hpp"
+#include "support/race_check.hpp"
 #include "support/random.hpp"
 
 namespace grapr {
@@ -98,7 +99,13 @@ Partition Plp::runImpl(const GraphT& g) {
             }
             const node best = dominantLabel(v);
             if (best != label[v]) {
-                label[v] = best; // benign race: asynchronous updating
+                // grapr:benign-race(label): asynchronous updating — the new
+                // label is published non-atomically, so neighbor scans in
+                // this round may read the old or the new value (Algorithm
+                // 1's contract). Each node is written by exactly one thread
+                // per round; the shadow write below enforces that half.
+                GRAPR_RACE_WRITE(zeta.raceShadow(), v);
+                label[v] = best;
                 ++localUpdated;
                 if (config_.trackActiveNodes) {
                     g.forNeighborsOf(v, [&](node u, edgeweight) {
@@ -111,15 +118,18 @@ Partition Plp::runImpl(const GraphT& g) {
         if (config_.explicitRandomization && iterations_ > 0) {
             Random::shuffle(order.begin(), order.end());
         }
+        GRAPR_RACE_PHASE("plp.round");
         const auto n = static_cast<std::int64_t>(order.size());
         if (config_.guidedSchedule) {
-#pragma omp parallel for schedule(guided) reduction(+ : updatedThisRound)
+#pragma omp parallel for default(none) shared(processNode, order, n)         \
+    schedule(guided) reduction(+ : updatedThisRound)
             for (std::int64_t i = 0; i < n; ++i) {
                 processNode(order[static_cast<std::size_t>(i)],
                             updatedThisRound);
             }
         } else {
-#pragma omp parallel for schedule(static) reduction(+ : updatedThisRound)
+#pragma omp parallel for default(none) shared(processNode, order, n)         \
+    schedule(static) reduction(+ : updatedThisRound)
             for (std::int64_t i = 0; i < n; ++i) {
                 processNode(order[static_cast<std::size_t>(i)],
                             updatedThisRound);

@@ -15,14 +15,19 @@ Graph ErdosRenyiGenerator::generate() {
     if (p_ <= 0.0 || n_ == 0) return builder.build();
 
     const auto rows = static_cast<std::int64_t>(n_);
-#pragma omp parallel for schedule(dynamic, 512)
+#pragma omp parallel for default(none) shared(builder, rows)                 \
+    schedule(dynamic, 512)
     for (std::int64_t sv = 0; sv < rows; ++sv) {
         const node v = static_cast<node>(sv);
+        // One counter-based stream per row: the row's sequence depends only
+        // on (seed, v), so the generated graph is identical for any thread
+        // count and schedule.
+        SplitMix64 rng = Random::forStream(static_cast<std::uint64_t>(v));
         // Candidates for row v: u in [v+1, n) plus optionally the loop.
         const count rowStart = selfLoops_ ? v : v + 1;
         count u = rowStart;
         for (;;) {
-            const count skip = Random::geometricSkip(p_);
+            const count skip = Random::geometricSkip(rng, p_);
             if (skip >= n_ - u) break; // next edge falls beyond the row
             u += skip;
             builder.addEdge(v, static_cast<node>(u));

@@ -20,19 +20,24 @@ Graph GridGenerator::generate() {
     };
 
     const auto rows = static_cast<std::int64_t>(rows_);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(builder, id, rows, n)          \
+    schedule(static)
     for (std::int64_t sr = 0; sr < rows; ++sr) {
         const count r = static_cast<count>(sr);
+        // Per-row counter stream (see Random::forStream): the random
+        // diagonals and chords of row r depend only on (seed, r).
+        SplitMix64 rng = Random::forStream(static_cast<std::uint64_t>(r));
         for (count c = 0; c < columns_; ++c) {
             const node v = id(r, c);
             if (c + 1 < columns_) builder.addEdge(v, id(r, c + 1));
             if (r + 1 < rows_) builder.addEdge(v, id(r + 1, c));
             if (diagonalChance_ > 0.0 && r + 1 < rows_ && c + 1 < columns_ &&
-                Random::chance(diagonalChance_)) {
+                Random::chance(rng, diagonalChance_)) {
                 builder.addEdge(v, id(r + 1, c + 1));
             }
-            if (chordChance_ > 0.0 && Random::chance(chordChance_)) {
-                const node t = static_cast<node>(Random::integer(n));
+            if (chordChance_ > 0.0 && Random::chance(rng, chordChance_)) {
+                const node t =
+                    static_cast<node>(Random::integer(rng, n));
                 if (t != v) builder.addEdge(v, t);
             }
         }

@@ -28,9 +28,13 @@ Graph PlantedPartitionGenerator::generate() {
 
     GraphBuilder builder(n_, false);
     const auto rows = static_cast<std::int64_t>(n_);
-#pragma omp parallel for schedule(dynamic, 512)
+#pragma omp parallel for default(none) shared(builder, rows, blockSize)      \
+    schedule(dynamic, 512)
     for (std::int64_t sv = 0; sv < rows; ++sv) {
         const node v = static_cast<node>(sv);
+        // Per-row counter stream: output depends only on (seed, v), not on
+        // the thread count or schedule.
+        SplitMix64 rng = Random::forStream(static_cast<std::uint64_t>(v));
         const count groupEnd = std::min<count>(
             (static_cast<count>(v) / blockSize + 1) * blockSize, n_);
 
@@ -38,7 +42,7 @@ Graph PlantedPartitionGenerator::generate() {
             if (p <= 0.0) return;
             count u = lo;
             while (u < hi) {
-                const count skip = Random::geometricSkip(p);
+                const count skip = Random::geometricSkip(rng, p);
                 if (skip >= hi - u) break;
                 u += skip;
                 builder.addEdge(v, static_cast<node>(u));

@@ -24,11 +24,15 @@ Graph RmatGenerator::generate() {
     const double abc = a_ + b_ + c_;
 
     const auto total = static_cast<std::int64_t>(samples);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(builder, total, ab, abc)       \
+    schedule(static)
     for (std::int64_t s = 0; s < total; ++s) {
+        // Per-sample counter stream: sample s reads only (seed, s), so the
+        // edge multiset is identical for any thread count and schedule.
+        SplitMix64 rng = Random::forStream(static_cast<std::uint64_t>(s));
         node u = 0, v = 0;
         for (count level = 0; level < scale_; ++level) {
-            const double r = Random::real();
+            const double r = Random::real(rng);
             u <<= 1;
             v <<= 1;
             if (r < a_) {

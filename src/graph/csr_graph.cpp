@@ -1,6 +1,7 @@
 #include "graph/csr_graph.hpp"
 
 #include "support/parallel.hpp"
+#include "support/race_check.hpp"
 
 namespace grapr {
 
@@ -48,7 +49,8 @@ CsrGraph::CsrGraph(const Graph& g)
 
     offsets_.resize(bound + 1);
     const auto sbound = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(degrees, sbound)               \
+    schedule(static)
     for (std::int64_t v = 0; v < sbound; ++v) {
         offsets_[static_cast<std::size_t>(v)] =
             static_cast<index>(degrees[static_cast<std::size_t>(v)]);
@@ -59,8 +61,15 @@ CsrGraph::CsrGraph(const Graph& g)
     if (weighted_) weights_.resize(entries);
     volume_.assign(bound, 0.0);
 
+#ifdef GRAPR_RACE_CHECK
+    // One shadow cell per CSR row: the scatter must write each row from
+    // exactly one thread.
+    race::ShadowCells rowShadow(bound);
+    GRAPR_RACE_PHASE("CsrGraph.freeze");
+#endif
     // Scatter every adjacency list into its slice, preserving order.
     g.parallelForNodes([&](node v) {
+        GRAPR_RACE_WRITE(rowShadow, v);
         const index lo = offsets_[v];
         const auto& adj = g.neighbors(v);
         for (index i = 0; i < adj.size(); ++i) {
@@ -95,8 +104,8 @@ CsrGraph::CsrGraph(std::vector<index> offsets, std::vector<node> neighbors,
     long double weightTwice = 0.0L; // non-loop weight, seen from both ends
     long double loopWeight = 0.0L;
     const auto sbound = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(guided) reduction(+ : loops, weightTwice, \
-                                                        loopWeight)
+#pragma omp parallel for default(none) shared(sbound) schedule(guided)       \
+    reduction(+ : loops, weightTwice, loopWeight)
     for (std::int64_t sv = 0; sv < sbound; ++sv) {
         const node v = static_cast<node>(sv);
         for (index i = offsets_[v]; i < offsets_[v + 1]; ++i) {
@@ -135,11 +144,18 @@ Graph CsrGraph::toGraph() const {
     // assembly preserves adjacency order bit-exactly, so freezing the
     // result again is an identity round trip.
     const auto sbound = static_cast<std::int64_t>(bound);
-#pragma omp parallel for schedule(guided)
-    for (std::int64_t sv = 0; sv < sbound; ++sv) {
-        const node v = static_cast<node>(sv);
+#ifdef GRAPR_RACE_CHECK
+    race::ShadowCells rowShadow(bound);
+    GRAPR_RACE_PHASE("CsrGraph.thaw");
+#endif
+    // Captured by the lambda (not a pragma clause) so the shadow exists
+    // only under GRAPR_RACE_CHECK without forking the pragma.
+    auto writeRow = [&](node v) {
+        GRAPR_RACE_WRITE(rowShadow, v);
         const index lo = offsets_[v];
         const index hi = offsets_[v + 1];
+        // Row v is written only by the iteration that owns v — rows are
+        // disjoint across threads (the row shadow above enforces this).
         g.adjacency_[v].assign(neighbors_.begin() + static_cast<std::ptrdiff_t>(lo),
                                neighbors_.begin() + static_cast<std::ptrdiff_t>(hi));
         if (weighted_) {
@@ -148,6 +164,11 @@ Graph CsrGraph::toGraph() const {
                 weights_.begin() + static_cast<std::ptrdiff_t>(hi));
         }
         g.exists_[v] = exists_[v];
+    };
+#pragma omp parallel for default(none) shared(writeRow, sbound)              \
+    schedule(guided)
+    for (std::int64_t sv = 0; sv < sbound; ++sv) {
+        writeRow(static_cast<node>(sv));
     }
     g.n_ = n_;
     g.m_ = m_;

@@ -108,7 +108,7 @@ public:
     template <typename F>
     void parallelForNodes(F&& f) const {
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(f, bound) schedule(static)
         for (std::int64_t v = 0; v < bound; ++v) {
             if (exists_[static_cast<node>(v)]) f(static_cast<node>(v));
         }
@@ -117,7 +117,7 @@ public:
     template <typename F>
     void balancedParallelForNodes(F&& f) const {
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
-#pragma omp parallel for schedule(guided)
+#pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t v = 0; v < bound; ++v) {
             if (exists_[static_cast<node>(v)]) f(static_cast<node>(v));
         }
@@ -150,7 +150,7 @@ public:
     template <typename F>
     void parallelForEdges(F&& f) const {
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
-#pragma omp parallel for schedule(guided)
+#pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t su = 0; su < bound; ++su) {
             const node u = static_cast<node>(su);
             for (index i = offsets_[u]; i < offsets_[u + 1]; ++i) {

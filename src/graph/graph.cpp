@@ -167,7 +167,7 @@ void Graph::reserveNeighbors(node v, count capacity) {
 
 void Graph::sortNeighborLists() {
     const auto bound = static_cast<std::int64_t>(adjacency_.size());
-#pragma omp parallel for schedule(guided)
+#pragma omp parallel for default(none) shared(bound) schedule(guided)
     for (std::int64_t sv = 0; sv < bound; ++sv) {
         const auto v = static_cast<std::size_t>(sv);
         auto& adj = adjacency_[v];

@@ -121,7 +121,7 @@ public:
     template <typename F>
     void parallelForNodes(F&& f) const {
         const auto bound = static_cast<std::int64_t>(adjacency_.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(f, bound) schedule(static)
         for (std::int64_t v = 0; v < bound; ++v) {
             if (exists_[static_cast<node>(v)]) f(static_cast<node>(v));
         }
@@ -133,7 +133,7 @@ public:
     template <typename F>
     void balancedParallelForNodes(F&& f) const {
         const auto bound = static_cast<std::int64_t>(adjacency_.size());
-#pragma omp parallel for schedule(guided)
+#pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t v = 0; v < bound; ++v) {
             if (exists_[static_cast<node>(v)]) f(static_cast<node>(v));
         }
@@ -156,7 +156,7 @@ public:
     template <typename F>
     void parallelForEdges(F&& f) const {
         const auto bound = static_cast<std::int64_t>(adjacency_.size());
-#pragma omp parallel for schedule(guided)
+#pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t su = 0; su < bound; ++su) {
             const node u = static_cast<node>(su);
             if (!exists_[u]) continue;

@@ -13,13 +13,20 @@ GraphBuilder::GraphBuilder(count n, bool weighted)
       perThread_(static_cast<std::size_t>(omp_get_max_threads())) {}
 
 void GraphBuilder::addEdge(node u, node v, edgeweight w) {
-    auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    if (tid >= perThread_.size()) tid = 0; // more threads than at ctor time
-    perThread_[tid].push_back({u, v, weighted_ ? w : 1.0});
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    if (tid < perThread_.size()) {
+        perThread_[tid].push_back({u, v, weighted_ ? w : 1.0});
+        return;
+    }
+    // More threads than at construction time. The old fallback redirected
+    // to buffer 0, racing against thread 0's own push_back; funnel the
+    // excess through a dedicated lock-guarded buffer instead.
+    const std::lock_guard<std::mutex> guard(overflowLock_);
+    overflow_.push_back({u, v, weighted_ ? w : 1.0});
 }
 
 count GraphBuilder::bufferedEdges() const {
-    count total = 0;
+    count total = overflow_.size();
     for (const auto& buf : perThread_) total += buf.size();
     return total;
 }
@@ -33,13 +40,17 @@ Graph GraphBuilder::build(bool dedup, bool sumWeights) {
         buf.clear();
         buf.shrink_to_fit();
     }
+    triples.insert(triples.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    overflow_.shrink_to_fit();
 
     // Normalize to u <= v so duplicates in either direction collide.
     // Validation is a flag reduction: exceptions must not cross the
     // parallel region boundary.
     const auto total = static_cast<std::int64_t>(triples.size());
     count outOfRange = 0;
-#pragma omp parallel for schedule(static) reduction(+ : outOfRange)
+#pragma omp parallel for default(none) shared(triples, total)                \
+    schedule(static) reduction(+ : outOfRange)
     for (std::int64_t i = 0; i < total; ++i) {
         auto& t = triples[static_cast<std::size_t>(i)];
         if (t.u >= n_ || t.v >= n_) {
@@ -72,7 +83,8 @@ Graph GraphBuilder::build(bool dedup, bool sumWeights) {
     std::vector<std::atomic<count>> slots(n_);
     for (auto& s : slots) s.store(0, std::memory_order_relaxed);
     const auto kept = static_cast<std::int64_t>(triples.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(triples, slots, kept)          \
+    schedule(static)
     for (std::int64_t i = 0; i < kept; ++i) {
         const auto& t = triples[static_cast<std::size_t>(i)];
         slots[t.u].fetch_add(1, std::memory_order_relaxed);
@@ -82,11 +94,15 @@ Graph GraphBuilder::build(bool dedup, bool sumWeights) {
     // Pass 2: size the adjacency arrays.
     Graph g(n_, weighted_);
     const auto nodes = static_cast<std::int64_t>(n_);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(g, slots, nodes)               \
+    schedule(static)
     for (std::int64_t v = 0; v < nodes; ++v) {
         const auto sv = static_cast<std::size_t>(v);
         const count deg = slots[sv].load(std::memory_order_relaxed);
+        // grapr:lint-allow(container-mutation): row sv is resized only by
+        // the iteration that owns sv — rows are disjoint across threads.
         g.adjacency_[sv].resize(deg);
+        // grapr:lint-allow(container-mutation): same disjoint-row argument.
         if (weighted_) g.weights_[sv].resize(deg);
         slots[sv].store(0, std::memory_order_relaxed); // reuse as cursor
     }
@@ -94,7 +110,8 @@ Graph GraphBuilder::build(bool dedup, bool sumWeights) {
     // Pass 3: scatter triples into final positions.
     count loops = 0;
     long double weightTotal = 0.0L;
-#pragma omp parallel for schedule(static) reduction(+ : loops, weightTotal)
+#pragma omp parallel for default(none) shared(g, triples, slots, kept)       \
+    schedule(static) reduction(+ : loops, weightTotal)
     for (std::int64_t i = 0; i < kept; ++i) {
         const auto& t = triples[static_cast<std::size_t>(i)];
         const count iu = slots[t.u].fetch_add(1, std::memory_order_relaxed);

@@ -12,6 +12,7 @@
 // keeping unit weights) — R-MAT and configuration-model generators emit
 // duplicates by construction.
 
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -49,6 +50,11 @@ private:
     count n_;
     bool weighted_;
     std::vector<std::vector<Triple>> perThread_;
+    // Overflow path for threads beyond the pool sized at construction time
+    // (the thread count can be raised between ctor and addEdge). Guarded by
+    // a lock — falling back to another thread's buffer would race.
+    std::mutex overflowLock_;
+    std::vector<Triple> overflow_;
 };
 
 } // namespace grapr

@@ -146,7 +146,8 @@ CsrGraph assembleCsr(std::vector<EdgeChunk>& chunks, count n, bool weighted,
                      int threads, const std::string& name) {
     const int numChunks = static_cast<int>(chunks.size());
     std::vector<std::vector<index>> chunkDeg(chunks.size());
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none) shared(chunks, chunkDeg, numChunks, n) \
+    num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         auto& deg = chunkDeg[static_cast<std::size_t>(c)];
         deg.assign(n, 0);
@@ -158,7 +159,9 @@ CsrGraph assembleCsr(std::vector<EdgeChunk>& chunks, count n, bool weighted,
 
     std::vector<count> degrees(n, 0);
     const auto sn = static_cast<std::int64_t>(n);
-#pragma omp parallel for num_threads(threads) schedule(static)
+#pragma omp parallel for default(none)                                       \
+    shared(chunkDeg, degrees, numChunks, sn) num_threads(threads)            \
+    schedule(static)
     for (std::int64_t v = 0; v < sn; ++v) {
         count total = 0;
         for (int c = 0; c < numChunks; ++c) {
@@ -173,7 +176,9 @@ CsrGraph assembleCsr(std::vector<EdgeChunk>& chunks, count n, bool weighted,
     offsets[n] = entries;
     // Turn each chunk's degree count into the absolute start offset of
     // that chunk's slice of the row.
-#pragma omp parallel for num_threads(threads) schedule(static)
+#pragma omp parallel for default(none)                                       \
+    shared(chunkDeg, degrees, offsets, numChunks, sn) num_threads(threads)   \
+    schedule(static)
     for (std::int64_t v = 0; v < sn; ++v) {
         const auto uv = static_cast<std::size_t>(v);
         offsets[uv] = degrees[uv];
@@ -188,7 +193,9 @@ CsrGraph assembleCsr(std::vector<EdgeChunk>& chunks, count n, bool weighted,
 
     std::vector<node> neighbors(entries);
     std::vector<edgeweight> weights(weighted ? entries : 0);
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none)                                       \
+    shared(chunks, chunkDeg, neighbors, weights, weighted, numChunks)        \
+    num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         auto& cursor = chunkDeg[static_cast<std::size_t>(c)];
         for (const RawEdge& e : chunks[static_cast<std::size_t>(c)].edges) {
@@ -220,7 +227,9 @@ void dedupRows(std::vector<index>& offsets, std::vector<node>& neighbors,
     const count n = offsets.size() - 1;
     std::vector<count> newDeg(n, 0);
     const auto sn = static_cast<std::int64_t>(n);
-#pragma omp parallel num_threads(threads)
+#pragma omp parallel default(none)                                           \
+    shared(offsets, neighbors, weights, newDeg, weighted, sn, n)             \
+    num_threads(threads)
     {
         // Timestamped per-thread "seen" set: O(deg) per row, no clearing.
         std::vector<index> stamp(n, 0);
@@ -234,7 +243,11 @@ void dedupRows(std::vector<index>& offsets, std::vector<node>& neighbors,
                 const node u = neighbors[i];
                 if (stamp[u] == generation) continue;
                 stamp[u] = generation;
+                // grapr:lint-allow(benign-race): in-place compaction of row
+                // v — write <= i stays inside [offsets[v], offsets[v+1]),
+                // and rows are disjoint across threads.
                 neighbors[write] = u;
+                // grapr:lint-allow(benign-race): same in-row compaction.
                 if (weighted) weights[write] = weights[i];
                 ++write;
             }
@@ -248,7 +261,10 @@ void dedupRows(std::vector<index>& offsets, std::vector<node>& neighbors,
     packedOffsets[n] = total;
     std::vector<node> packedNeighbors(total);
     std::vector<edgeweight> packedWeights(weighted ? total : 0);
-#pragma omp parallel for num_threads(threads) schedule(guided)
+#pragma omp parallel for default(none)                                       \
+    shared(offsets, neighbors, weights, prefix, newDeg, packedOffsets,       \
+               packedNeighbors, packedWeights, weighted, sn)                 \
+    num_threads(threads) schedule(guided)
     for (std::int64_t sv = 0; sv < sn; ++sv) {
         const auto v = static_cast<std::size_t>(sv);
         packedOffsets[v] = prefix[v];
@@ -283,7 +299,9 @@ CsrGraph parseEdgeListCsr(const char* data, std::size_t size,
         scan::splitLineChunks(data, end, threads);
     std::vector<EdgeChunk> chunks(ranges.size());
     const int numChunks = static_cast<int>(ranges.size());
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none)                                       \
+    shared(ranges, chunks, data, options, haveDeclaredN, declaredN,          \
+               numChunks) num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         parseChunk(ranges[static_cast<std::size_t>(c)], data, options,
                    haveDeclaredN, declaredN,

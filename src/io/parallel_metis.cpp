@@ -174,7 +174,9 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
     const int numChunks = static_cast<int>(ranges.size());
 
     // Pass 1: per chunk, count data rows and kept entries per row.
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none)                                       \
+    shared(ranges, chunks, data, header, options, numChunks)                 \
+    num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         const scan::Chunk& range = ranges[static_cast<std::size_t>(c)];
         MetisChunk& chunk = chunks[static_cast<std::size_t>(c)];
@@ -246,7 +248,9 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
         firstRow[c + 1] = firstRow[c] + chunks[c].rowDegrees.size();
     }
     std::vector<count> degrees(header.n, 0);
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none)                                       \
+    shared(chunks, firstRow, degrees, header, numChunks)                     \
+    num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         const auto uc = static_cast<std::size_t>(c);
         for (std::size_t r = 0; r < chunks[uc].rowDegrees.size(); ++r) {
@@ -258,7 +262,8 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
     std::vector<index> offsets(header.n + 1);
     offsets[header.n] = entries;
     const auto sn = static_cast<std::int64_t>(header.n);
-#pragma omp parallel for num_threads(threads) schedule(static)
+#pragma omp parallel for default(none) shared(offsets, degrees, sn)          \
+    num_threads(threads) schedule(static)
     for (std::int64_t v = 0; v < sn; ++v) {
         offsets[static_cast<std::size_t>(v)] =
             degrees[static_cast<std::size_t>(v)];
@@ -267,7 +272,10 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
     // Pass 2: re-tokenise and write every row's entries into its slice.
     std::vector<node> neighbors(entries);
     std::vector<edgeweight> weights(header.weighted ? entries : 0);
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#pragma omp parallel for default(none)                                       \
+    shared(ranges, chunks, data, header, options, firstRow, offsets,         \
+               neighbors, weights, numChunks)                                \
+    num_threads(threads) schedule(static, 1)
     for (int c = 0; c < numChunks; ++c) {
         const auto uc = static_cast<std::size_t>(c);
         const scan::Chunk& range = ranges[uc];

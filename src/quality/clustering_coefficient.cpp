@@ -45,7 +45,8 @@ double ClusteringCoefficient::averageLocal(const Graph& g) {
     double sum = 0.0;
     count contributors = 0;
     const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
-#pragma omp parallel for schedule(guided) reduction(+ : sum, contributors)
+#pragma omp parallel for default(none) shared(g, bound)                      \
+    schedule(guided) reduction(+ : sum, contributors)
     for (std::int64_t sv = 0; sv < bound; ++sv) {
         const node v = static_cast<node>(sv);
         if (!g.hasNode(v)) continue;
@@ -78,7 +79,8 @@ double ClusteringCoefficient::approxAverageLocal(const Graph& g,
 
     count closed = 0;
     const auto total = static_cast<std::int64_t>(samples);
-#pragma omp parallel for schedule(static) reduction(+ : closed)
+#pragma omp parallel for default(none) shared(g, eligible, total)            \
+    schedule(static) reduction(+ : closed)
     for (std::int64_t s = 0; s < total; ++s) {
         const node v = eligible[Random::integer(eligible.size())];
         const count d = g.degree(v);

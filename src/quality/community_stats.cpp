@@ -40,7 +40,8 @@ EdgeCut communityEdgeCut(const Partition& zeta, const Graph& g) {
     double intra = 0.0;
     double inter = 0.0;
     const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
-#pragma omp parallel for schedule(guided) reduction(+ : intra, inter)
+#pragma omp parallel for default(none) shared(g, zeta, bound)                \
+    schedule(guided) reduction(+ : intra, inter)
     for (std::int64_t su = 0; su < bound; ++su) {
         const node u = static_cast<node>(su);
         if (!g.hasNode(u)) continue;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/race_check.hpp"
 
 namespace grapr {
 
@@ -17,7 +18,11 @@ class Cover {
 public:
     Cover() = default;
 
-    explicit Cover(count n) : memberships_(n) {}
+    explicit Cover(count n) : memberships_(n) {
+#ifdef GRAPR_RACE_CHECK
+        shadow_.reset(n);
+#endif
+    }
 
     count numberOfElements() const noexcept { return memberships_.size(); }
 
@@ -27,7 +32,14 @@ public:
     }
 
     /// Add node v to community c (no-op if already a member).
+    ///
+    /// Concurrency contract: a node's membership list may be mutated by at
+    /// most one thread per parallel phase (there is no per-node lock; the
+    /// upper-bound update additionally requires that concurrent phases
+    /// partition the id space). GRAPR_RACE_CHECK enforces the per-node
+    /// half of that contract via the shadow log.
     void addToSubset(node v, node c) {
+        GRAPR_RACE_WRITE(shadow_, v);
         auto& sets = memberships_[v];
         const auto it = std::lower_bound(sets.begin(), sets.end(), c);
         if (it == sets.end() || *it != c) sets.insert(it, c);
@@ -36,9 +48,16 @@ public:
 
     /// Remove node v from community c (no-op if not a member).
     void removeFromSubset(node v, node c) {
+        GRAPR_RACE_WRITE(shadow_, v);
         auto& sets = memberships_[v];
         const auto it = std::lower_bound(sets.begin(), sets.end(), c);
         if (it != sets.end() && *it == c) sets.erase(it);
+    }
+
+    /// Move node v from community `from` to community `to`.
+    void moveToSubset(node v, node from, node to) {
+        removeFromSubset(v, from);
+        addToSubset(v, to);
     }
 
     bool contains(node v, node c) const {
@@ -96,6 +115,9 @@ public:
 private:
     std::vector<std::vector<node>> memberships_;
     node upperId_ = 0;
+#ifdef GRAPR_RACE_CHECK
+    mutable race::ShadowCells shadow_;
+#endif
 };
 
 } // namespace grapr

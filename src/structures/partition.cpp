@@ -8,9 +8,11 @@
 namespace grapr {
 
 void Partition::allToSingletons() {
+    GRAPR_RACE_PHASE("Partition::allToSingletons");
     const auto n = static_cast<std::int64_t>(data_.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for default(none) shared(n) schedule(static)
     for (std::int64_t v = 0; v < n; ++v) {
+        GRAPR_RACE_WRITE(shadow_, static_cast<std::size_t>(v));
         data_[static_cast<std::size_t>(v)] = static_cast<node>(v);
     }
     upperId_ = static_cast<node>(data_.size());

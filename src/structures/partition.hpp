@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "support/race_check.hpp"
 
 namespace grapr {
 
@@ -16,7 +17,11 @@ public:
     Partition() = default;
 
     /// Partition over ids [0, n), all nodes unassigned (none).
-    explicit Partition(count n) : data_(n, none), upperId_(0) {}
+    explicit Partition(count n) : data_(n, none), upperId_(0) {
+#ifdef GRAPR_RACE_CHECK
+        shadow_.reset(n);
+#endif
+    }
 
     /// Number of node slots.
     count numberOfElements() const noexcept { return data_.size(); }
@@ -26,7 +31,20 @@ public:
 
     /// Assign node v to community c. c must be < upperBound() unless the
     /// caller later calls setUpperBound/compact.
-    void set(node v, node c) { data_[v] = c; }
+    ///
+    /// Concurrency contract: parallel phases may call set() from many
+    /// threads, but each node must be written by at most one thread per
+    /// phase; concurrent *readers* of the label are tolerated (stale reads
+    /// by design). Under GRAPR_RACE_CHECK the shadow log enforces the
+    /// write half of that contract.
+    void set(node v, node c) {
+        GRAPR_RACE_WRITE(shadow_, v);
+        data_[v] = c;
+    }
+
+    /// Move node v to community c — set() under its contract-facing name
+    /// (the operation the shadow race checker is specified against).
+    void moveToSubset(node v, node c) { set(v, c); }
 
     /// One community per node: ζ(v) = v (the singleton clustering that
     /// seeds label propagation and the Louvain method).
@@ -65,15 +83,26 @@ public:
     /// True if ζ(u) == ζ(v).
     bool inSameSubset(node u, node v) const { return data_[u] == data_[v]; }
 
-    /// Raw array access for hot loops.
+    /// Raw array access for hot loops. Writers that bypass set() through
+    /// this reference must call GRAPR_RACE_WRITE(raceShadow(), v)
+    /// themselves to stay visible to the shadow race checker.
     const std::vector<node>& vector() const noexcept { return data_; }
     std::vector<node>& vector() noexcept { return data_; }
 
-    bool operator==(const Partition& other) const = default;
+    bool operator==(const Partition& other) const {
+        return data_ == other.data_ && upperId_ == other.upperId_;
+    }
+
+#ifdef GRAPR_RACE_CHECK
+    race::ShadowCells& raceShadow() const noexcept { return shadow_; }
+#endif
 
 private:
     std::vector<node> data_;
     node upperId_ = 0;
+#ifdef GRAPR_RACE_CHECK
+    mutable race::ShadowCells shadow_;
+#endif
 };
 
 } // namespace grapr

@@ -28,37 +28,65 @@ count prefixSum(std::vector<count>& values) {
     const std::size_t chunk = (n + static_cast<std::size_t>(threads) - 1) /
                               static_cast<std::size_t>(threads);
 
-#pragma omp parallel num_threads(threads)
+    // Blocks are distributed by worksharing loops, NOT by thread id: the
+    // old scheme gave block t to team member t, so a team smaller than
+    // `threads` (num_threads is only a request) would silently skip the
+    // trailing blocks. The implicit barriers after each `omp for` and the
+    // `single` give the three-phase scan its ordering.
+    TsanJoinFence fence;
+#pragma omp parallel default(none)                                           \
+    shared(values, blockTotals, chunk, n, threads, fence)
     {
-        const auto t = static_cast<std::size_t>(omp_get_thread_num());
-        const std::size_t lo = std::min(t * chunk, n);
-        const std::size_t hi = std::min(lo + chunk, n);
-        count local = 0;
-        for (std::size_t i = lo; i < hi; ++i) {
-            const count v = values[i];
-            values[i] = local;
-            local += v;
+#pragma omp for schedule(static)
+        for (int t = 0; t < threads; ++t) {
+            const auto st = static_cast<std::size_t>(t);
+            const std::size_t lo = std::min(st * chunk, n);
+            const std::size_t hi = std::min(lo + chunk, n);
+            count local = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const count v = values[i];
+                // grapr:lint-allow(benign-race): block [lo, hi) belongs to
+                // exactly one loop iteration; no other thread touches it.
+                values[i] = local;
+                local += v;
+            }
+            // grapr:lint-allow(benign-race): slot st+1 is owned by this
+            // iteration; the single below reads it only after the implicit
+            // barrier of this worksharing loop.
+            blockTotals[st + 1] = local;
         }
-        blockTotals[t + 1] = local;
-#pragma omp barrier
 #pragma omp single
         {
             for (std::size_t b = 1; b < blockTotals.size(); ++b) {
+                // grapr:lint-allow(compound-shared-write): inside `omp
+                // single` — exactly one thread runs this scan, bracketed
+                // by the implicit barriers of single and the loops.
                 blockTotals[b] += blockTotals[b - 1];
             }
         }
-        const count offset = blockTotals[t];
-        if (offset != 0) {
-            for (std::size_t i = lo; i < hi; ++i) values[i] += offset;
+#pragma omp for schedule(static)
+        for (int t = 0; t < threads; ++t) {
+            const auto st = static_cast<std::size_t>(t);
+            const std::size_t lo = std::min(st * chunk, n);
+            const std::size_t hi = std::min(lo + chunk, n);
+            const count offset = blockTotals[st];
+            if (offset != 0) {
+                // grapr:lint-allow(compound-shared-write): block [lo, hi)
+                // is owned by this iteration — no concurrent writer.
+                for (std::size_t i = lo; i < hi; ++i) values[i] += offset;
+            }
         }
+        fence.arrive();
     }
+    fence.join();
     return blockTotals.back();
 }
 
 double sum(const std::vector<double>& values) {
     double total = 0.0;
     const auto n = static_cast<std::int64_t>(values.size());
-#pragma omp parallel for reduction(+ : total) schedule(static)
+#pragma omp parallel for default(none) shared(values, n)                     \
+    reduction(+ : total) schedule(static)
     for (std::int64_t i = 0; i < n; ++i) total += values[static_cast<std::size_t>(i)];
     return total;
 }
@@ -66,7 +94,8 @@ double sum(const std::vector<double>& values) {
 count max(const std::vector<count>& values) {
     count best = 0;
     const auto n = static_cast<std::int64_t>(values.size());
-#pragma omp parallel for reduction(max : best) schedule(static)
+#pragma omp parallel for default(none) shared(values, n)                     \
+    reduction(max : best) schedule(static)
     for (std::int64_t i = 0; i < n; ++i) {
         best = std::max(best, values[static_cast<std::size_t>(i)]);
     }

@@ -7,6 +7,7 @@
 // schedule(guided)` directly, as the paper prescribes for scale-free degree
 // distributions; these helpers cover the supporting plumbing.
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -17,6 +18,27 @@
 namespace grapr {
 
 namespace Parallel {
+
+/// Rebuilds the join happens-before edge of a parallel region for
+/// ThreadSanitizer. GCC ships libgomp uninstrumented, so TSan cannot see
+/// the barrier at a region's end; plain stores made by workers and read by
+/// the caller after the join are then (flakily) reported as races. One
+/// release-RMW per thread at region end (`arrive`), acquired once after
+/// the region (`join`), expresses the same edge in standard C++ atomics
+/// that TSan does understand. Compiled to no-ops outside TSan builds.
+class TsanJoinFence {
+public:
+#if defined(__SANITIZE_THREAD__)
+    void arrive() noexcept { token_.fetch_add(1, std::memory_order_acq_rel); }
+    void join() noexcept { (void)token_.load(std::memory_order_acquire); }
+
+private:
+    std::atomic<int> token_{0};
+#else
+    void arrive() noexcept {}
+    void join() noexcept {}
+#endif
+};
 
 /// Number of threads OpenMP will use for the next parallel region.
 int maxThreads();

@@ -1,0 +1,151 @@
+#include "support/race_check.hpp"
+
+#ifdef GRAPR_RACE_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+namespace grapr::race {
+
+namespace {
+
+// Record layout (64 bits):
+//   [63..36] epoch      (28 bits)
+//   [35]     benign site
+//   [34]     written inside a parallel region
+//   [33..20] thread id  (14 bits)
+//   [19..0]  site id    (20 bits)
+// A zero record means "never written" (epochs start at 1).
+
+constexpr std::uint64_t kEpochShift = 36;
+constexpr std::uint64_t kBenignBit = 1ULL << 35;
+constexpr std::uint64_t kParallelBit = 1ULL << 34;
+constexpr std::uint64_t kThreadShift = 20;
+constexpr std::uint64_t kThreadMask = (1ULL << 14) - 1;
+constexpr std::uint64_t kSiteMask = (1ULL << 20) - 1;
+
+std::atomic<std::uint32_t> gEpoch{1};
+std::atomic<const char*> gPhaseName{"<start>"};
+
+struct SiteTable {
+    std::mutex mutex;
+    std::vector<std::string> names;
+    std::vector<bool> benign;
+};
+
+SiteTable& sites() {
+    static SiteTable table;
+    return table;
+}
+
+[[noreturn]] void fail(std::size_t cell, std::uint64_t prev,
+                       std::uint64_t mine) {
+    const auto prevSite = static_cast<std::uint32_t>(prev & kSiteMask);
+    const auto mineSite = static_cast<std::uint32_t>(mine & kSiteMask);
+    const auto prevThread =
+        static_cast<unsigned>((prev >> kThreadShift) & kThreadMask);
+    const auto mineThread =
+        static_cast<unsigned>((mine >> kThreadShift) & kThreadMask);
+    std::fprintf(
+        stderr,
+        "grapr race checker: unannotated cross-thread write detected\n"
+        "  phase:  %s (epoch %u)\n"
+        "  cell:   %zu\n"
+        "  write:  thread %u at %s\n"
+        "  prior:  thread %u at %s\n"
+        "Two threads wrote the same cell within one parallel phase. Either\n"
+        "this is a real race, or the write is benign by design and must be\n"
+        "annotated: use GRAPR_RACE_WRITE_BENIGN plus a\n"
+        "'// grapr:benign-race(<var>): <reason>' comment at the site.\n",
+        gPhaseName.load(std::memory_order_relaxed),
+        static_cast<unsigned>(mine >> kEpochShift), cell, mineThread,
+        siteName(mineSite), prevThread, siteName(prevSite));
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace
+
+std::uint32_t registerSite(const char* file, int line, bool benign) {
+    SiteTable& table = sites();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    // Keep only the path tail; full build paths bloat the report.
+    const char* tail = file;
+    for (const char* p = file; *p; ++p) {
+        if ((*p == '/' || *p == '\\') && std::strstr(p, "src") == p + 1) {
+            tail = p + 1;
+        }
+    }
+    table.names.push_back(std::string(tail) + ":" + std::to_string(line));
+    table.benign.push_back(benign);
+    const auto id = static_cast<std::uint32_t>(table.names.size() - 1);
+    if (id > kSiteMask) {
+        std::fprintf(stderr, "grapr race checker: site table overflow\n");
+        std::abort();
+    }
+    return id;
+}
+
+const char* siteName(std::uint32_t site) {
+    SiteTable& table = sites();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    return site < table.names.size() ? table.names[site].c_str()
+                                     : "<unknown site>";
+}
+
+void beginPhase(const char* name) {
+    if (omp_in_parallel()) {
+        std::fprintf(stderr,
+                     "grapr race checker: GRAPR_RACE_PHASE(\"%s\") called "
+                     "inside a parallel region\n",
+                     name);
+        std::abort();
+    }
+    gPhaseName.store(name, std::memory_order_relaxed);
+    gEpoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint32_t currentEpoch() {
+    return gEpoch.load(std::memory_order_relaxed);
+}
+
+void ShadowCells::reset(std::size_t n) {
+    n_ = n;
+    cells_.reset(n == 0 ? nullptr : new std::atomic<std::uint64_t>[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+        cells_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void ShadowCells::recordWrite(std::size_t cell, std::uint32_t site,
+                              bool benign) {
+    if (cell >= n_) return; // structure grew without reset; stay silent
+    const bool inParallel = omp_in_parallel() != 0;
+    const auto epoch =
+        static_cast<std::uint64_t>(gEpoch.load(std::memory_order_relaxed));
+    const auto thread =
+        static_cast<std::uint64_t>(omp_get_thread_num()) & kThreadMask;
+    const std::uint64_t mine = (epoch << kEpochShift) |
+                               (benign ? kBenignBit : 0) |
+                               (inParallel ? kParallelBit : 0) |
+                               (thread << kThreadShift) |
+                               (site & kSiteMask);
+    const std::uint64_t prev =
+        cells_[cell].exchange(mine, std::memory_order_acq_rel);
+    if (prev == 0) return;
+    if (!inParallel || !(prev & kParallelBit)) return;
+    if ((prev >> kEpochShift) != epoch) return;
+    if (((prev >> kThreadShift) & kThreadMask) == thread) return;
+    if ((prev & kBenignBit) || benign) return;
+    fail(cell, prev, mine);
+}
+
+} // namespace grapr::race
+
+#endif // GRAPR_RACE_CHECK

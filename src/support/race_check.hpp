@@ -1,0 +1,110 @@
+#pragma once
+// GRAPR_RACE_CHECK — an in-tree shadow race checker for the label/structure
+// write paths (Partition, Cover, CsrGraph assembly).
+//
+// Motivation: the repo's concurrency contract (DESIGN.md "Concurrency
+// contract") says parallel label updates may be *read* stale by other
+// threads, but every cell is *written* by at most one thread per parallel
+// phase. ThreadSanitizer cannot check that contract selectively — it flags
+// the benign stale reads too, needs a suppression file, and an
+// uninstrumented libgomp blinds it to OpenMP's happens-before edges. This
+// checker is the complement: it watches only writes, knows the phase
+// structure, and runs in any debug build at a fraction of TSan's cost.
+//
+// Mechanism: each checked structure owns a shadow array with one atomic
+// 64-bit record per cell, packing {epoch, thread, site id, flags}. A write
+// exchanges its record in; if the previous record is from the same epoch,
+// a different thread, inside a parallel region, and neither site is
+// annotated benign, the checker prints both source locations and aborts.
+// Epochs advance at phase boundaries (GRAPR_RACE_PHASE), called outside
+// parallel regions — e.g. once per PLM move round — so writes in
+// *successive* rounds never alias.
+//
+// All hooks compile to `((void)0)` unless the build sets GRAPR_RACE_CHECK
+// (cmake -DGRAPR_RACE_CHECK=ON). The macro arguments are not evaluated in
+// that case, so call sites may reference members that only exist under the
+// flag.
+
+#ifdef GRAPR_RACE_CHECK
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace grapr::race {
+
+/// Register a write site (FILE:LINE). Called once per call site through a
+/// function-local static in the GRAPR_RACE_WRITE macros. `benign` marks the
+/// site as a tolerated race (must carry a grapr:benign-race annotation in
+/// source — the lint cross-checks that).
+std::uint32_t registerSite(const char* file, int line, bool benign);
+
+/// Human-readable "file:line" of a registered site.
+const char* siteName(std::uint32_t site);
+
+/// Advance the global epoch. Must be called OUTSIDE any parallel region,
+/// at every parallel phase boundary of an instrumented algorithm (e.g.
+/// before each PLM move round). `name` shows up in failure reports.
+void beginPhase(const char* name);
+
+/// Current epoch (for tests).
+std::uint32_t currentEpoch();
+
+/// Per-cell last-writer log. One record per cell of the shadowed array.
+/// Copying a ShadowCells produces a *fresh* shadow of the same size (the
+/// copied-from history belongs to the source object); moving transfers it.
+class ShadowCells {
+public:
+    ShadowCells() = default;
+    explicit ShadowCells(std::size_t n) { reset(n); }
+
+    ShadowCells(const ShadowCells& other) { reset(other.n_); }
+    ShadowCells& operator=(const ShadowCells& other) {
+        if (this != &other) reset(other.n_);
+        return *this;
+    }
+    ShadowCells(ShadowCells&&) noexcept = default;
+    ShadowCells& operator=(ShadowCells&&) noexcept = default;
+
+    /// (Re)size to n cells and forget all write history.
+    void reset(std::size_t n);
+
+    /// Record a write to `cell` from the calling thread at `site`; abort
+    /// with both locations on an unannotated cross-thread same-epoch
+    /// write. `benign` is the site's static annotation flag (passed by the
+    /// macro so the hot path needs no site-table lookup).
+    void recordWrite(std::size_t cell, std::uint32_t site, bool benign);
+
+    std::size_t size() const noexcept { return n_; }
+
+private:
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+    std::size_t n_ = 0;
+};
+
+} // namespace grapr::race
+
+#define GRAPR_RACE_WRITE(shadow, cell)                                       \
+    do {                                                                     \
+        static const std::uint32_t graprRaceSite_ =                          \
+            ::grapr::race::registerSite(__FILE__, __LINE__, false);          \
+        (shadow).recordWrite((cell), graprRaceSite_, false);                 \
+    } while (0)
+
+#define GRAPR_RACE_WRITE_BENIGN(shadow, cell)                                \
+    do {                                                                     \
+        static const std::uint32_t graprRaceSite_ =                          \
+            ::grapr::race::registerSite(__FILE__, __LINE__, true);           \
+        (shadow).recordWrite((cell), graprRaceSite_, true);                  \
+    } while (0)
+
+#define GRAPR_RACE_PHASE(name) ::grapr::race::beginPhase(name)
+
+#else // !GRAPR_RACE_CHECK
+
+#define GRAPR_RACE_WRITE(shadow, cell) ((void)0)
+#define GRAPR_RACE_WRITE_BENIGN(shadow, cell) ((void)0)
+#define GRAPR_RACE_PHASE(name) ((void)0)
+
+#endif // GRAPR_RACE_CHECK

@@ -1,7 +1,7 @@
 #include "support/random.hpp"
 
+#include <atomic>
 #include <cmath>
-#include <mutex>
 
 #include <omp.h>
 
@@ -9,45 +9,64 @@ namespace grapr::Random {
 
 namespace {
 
-std::uint64_t globalSeed = 42;
-std::vector<SplitMix64> pool; // one engine per OpenMP thread id
-std::mutex poolMutex;
+// Seed state is a pair of atomics instead of a mutex-guarded pool: the old
+// design kept a global std::vector<SplitMix64> and rebuilt it under a lock
+// when a late thread appeared, invalidating engine references other threads
+// were concurrently drawing from. Thread-local engines keyed by a seed
+// version cannot race — setSeed only bumps the version, and each thread
+// re-derives its own engine on its next draw.
+std::atomic<std::uint64_t> globalSeed{42};
+std::atomic<std::uint64_t> seedVersion{1};
 
-void rebuildPool(std::size_t threads) {
-    pool.clear();
-    pool.reserve(threads);
-    // Derive per-thread streams by running a seeding engine; SplitMix64
-    // outputs are equidistributed, so consecutive outputs give independent
-    // stream seeds.
-    SplitMix64 seeder(globalSeed);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(seeder());
+/// Mix (seed, streamId) into an engine seed. Feeding the raw pair into
+/// SplitMix64 directly would correlate streams of consecutive ids; two
+/// scramble rounds decorrelate them (SplitMix64's own finalizer).
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t streamId) {
+    SplitMix64 mixer(seed ^ (streamId * 0xbf58476d1ce4e5b9ULL));
+    mixer();
+    return mixer();
+}
+
+struct ThreadEngine {
+    std::uint64_t version = 0; // 0 = never seeded
+    SplitMix64 engine{0};
+};
+
+ThreadEngine& localEngine() {
+    thread_local ThreadEngine local;
+    const std::uint64_t version = seedVersion.load(std::memory_order_acquire);
+    if (local.version != version) {
+        local.version = version;
+        const auto tid =
+            static_cast<std::uint64_t>(omp_get_thread_num());
+        local.engine = SplitMix64(deriveStreamSeed(
+            globalSeed.load(std::memory_order_acquire), tid));
+    }
+    return local;
 }
 
 } // namespace
 
 void setSeed(std::uint64_t seed) {
-    std::lock_guard<std::mutex> lock(poolMutex);
-    globalSeed = seed;
-    rebuildPool(static_cast<std::size_t>(omp_get_max_threads()));
+    globalSeed.store(seed, std::memory_order_release);
+    seedVersion.fetch_add(1, std::memory_order_acq_rel);
 }
 
-std::uint64_t seed() { return globalSeed; }
+std::uint64_t seed() { return globalSeed.load(std::memory_order_acquire); }
 
-SplitMix64& engine() {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    if (tid >= pool.size()) {
-        // Defensive growth: the thread count was raised after the last
-        // setSeed. Serialized, but happens at most once per thread count.
-        std::lock_guard<std::mutex> lock(poolMutex);
-        if (tid >= pool.size()) rebuildPool(tid + 1);
-    }
-    return pool[tid];
+SplitMix64& engine() { return localEngine().engine; }
+
+SplitMix64 forStream(std::uint64_t streamId) {
+    // Offset stream ids away from the thread-id streams so a generator's
+    // row 0 does not replay thread 0's sequence.
+    return SplitMix64(deriveStreamSeed(
+        globalSeed.load(std::memory_order_acquire),
+        streamId ^ 0x94d049bb133111ebULL));
 }
 
-std::uint64_t integer(std::uint64_t bound) {
+std::uint64_t integer(SplitMix64& rng, std::uint64_t bound) {
     if (bound == 0) return 0;
     // Lemire's nearly-divisionless bounded sampling.
-    SplitMix64& rng = engine();
     auto wide = static_cast<unsigned __int128>(rng()) * bound;
     auto low = static_cast<std::uint64_t>(wide);
     if (low < bound) {
@@ -60,27 +79,35 @@ std::uint64_t integer(std::uint64_t bound) {
     return static_cast<std::uint64_t>(wide >> 64);
 }
 
+std::uint64_t integer(std::uint64_t bound) { return integer(engine(), bound); }
+
 std::uint64_t integer(std::uint64_t lo, std::uint64_t hi) {
     return lo + integer(hi - lo + 1);
 }
 
-double real() {
+double real(SplitMix64& rng) {
     // 53 random mantissa bits -> uniform double in [0,1).
-    return static_cast<double>(engine()() >> 11) * 0x1.0p-53;
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
 }
 
+double real() { return real(engine()); }
+
 double real(double lo, double hi) { return lo + (hi - lo) * real(); }
+
+bool chance(SplitMix64& rng, double p) { return real(rng) < p; }
 
 bool chance(double p) { return real() < p; }
 
 index choice(index size) { return integer(size); }
 
-count geometricSkip(double p) {
+count geometricSkip(SplitMix64& rng, double p) {
     if (p >= 1.0) return 0;
     if (p <= 0.0) return std::numeric_limits<count>::max();
-    const double u = 1.0 - real(); // u in (0,1]
+    const double u = 1.0 - real(rng); // u in (0,1]
     return static_cast<count>(std::floor(std::log(u) / std::log1p(-p)));
 }
+
+count geometricSkip(double p) { return geometricSkip(engine(), p); }
 
 } // namespace grapr::Random
 

@@ -37,19 +37,33 @@ private:
     std::uint64_t state_;
 };
 
-/// Global pool of per-thread engines. All free functions below draw from the
-/// engine belonging to the calling OpenMP thread.
+/// Thread-local random number generation. All free functions below draw
+/// from an engine that lives in thread-local storage, derived from the
+/// global seed and the calling thread's OpenMP id. setSeed bumps a seed
+/// version; each thread lazily re-derives its engine on the next draw, so
+/// re-seeding involves no shared mutable pool (the previous design rebuilt
+/// a global vector of engines while other threads could still hold
+/// references into it — a use-after-free race under defensive growth).
 namespace Random {
 
-/// (Re-)seed the pool; resizes it to the current omp_get_max_threads().
+/// (Re-)seed. Takes effect in every thread on its next draw.
 void setSeed(std::uint64_t seed);
 
 /// The seed last passed to setSeed (default 42).
 std::uint64_t seed();
 
-/// Engine of the calling thread. Call setSeed first if the thread count
-/// changed since the last seeding; the pool auto-grows defensively.
+/// Engine of the calling thread (thread-local; re-derived after setSeed).
 SplitMix64& engine();
+
+/// Independent engine for a logical stream, derived from (seed, streamId)
+/// only. Generators draw one stream per row/sample instead of one per
+/// thread, which makes their output independent of the thread count and
+/// of the OpenMP schedule. Cheap enough to construct per item.
+SplitMix64 forStream(std::uint64_t streamId);
+
+/// Uniform integer in [0, bound) from an explicit engine, using Lemire's
+/// multiply-shift rejection.
+std::uint64_t integer(SplitMix64& rng, std::uint64_t bound);
 
 /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
 std::uint64_t integer(std::uint64_t bound);
@@ -57,17 +71,28 @@ std::uint64_t integer(std::uint64_t bound);
 /// Uniform integer in [lo, hi] inclusive.
 std::uint64_t integer(std::uint64_t lo, std::uint64_t hi);
 
+/// Uniform real in [0, 1) from an explicit engine.
+double real(SplitMix64& rng);
+
 /// Uniform real in [0, 1).
 double real();
 
 /// Uniform real in [lo, hi).
 double real(double lo, double hi);
 
+/// Bernoulli trial with success probability p from an explicit engine.
+bool chance(SplitMix64& rng, double p);
+
 /// Bernoulli trial with success probability p.
 bool chance(double p);
 
 /// Uniformly chosen element index for a container of the given size.
 index choice(index size);
+
+/// Geometric skip length for Bernoulli(p) edge sampling from an explicit
+/// engine: the number of failures before the next success, i.e.
+/// floor(log(U)/log(1-p)).
+count geometricSkip(SplitMix64& rng, double p);
 
 /// Geometric skip length for Bernoulli(p) edge sampling: the number of
 /// failures before the next success, i.e. floor(log(U)/log(1-p)).

@@ -1,0 +1,85 @@
+// Lint fixture: every parallel region below violates at least one
+// grapr-lint rule. The `grapr_lint_fixture` ctest invokes the linter on
+// this file and expects a NONZERO exit (WILL_FAIL) — if the lint ever
+// "passes" this file, a rule regressed. This file is never compiled.
+//
+// Seeded violations, in order:
+//   1. omp-default-none        region without default(none)
+//   2. no-default-shared       region with default(shared)
+//   3. no-rand                 rand() instead of support/random.hpp
+//   4. no-stream-log           std::cout inside a parallel region
+//   5. container-mutation      push_back on a shared vector
+//   6. compound-shared-write   total += x on a shared scalar, no atomic
+//   7. benign-race             unannotated label publication + stale read
+//   8. annotation-format       annotation without a reason
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+void fixtureDefaultNone(std::vector<int>& data) {
+    // (1) implicit data sharing — must be default(none) with shared(...)
+#pragma omp parallel for
+    for (int i = 0; i < 100; ++i) {
+        data[i] = i;
+    }
+}
+
+void fixtureDefaultShared(std::vector<int>& data) {
+    // (2) default(shared) is explicitly banned, not just "not none"
+#pragma omp parallel for default(shared)
+    for (int i = 0; i < 100; ++i) {
+        data[i] = i;
+    }
+}
+
+void fixtureRand(std::vector<int>& data) {
+#pragma omp parallel for default(none) shared(data)
+    for (int i = 0; i < 100; ++i) {
+        // (3) rand() shares hidden global state across threads
+        data[i] = rand();
+    }
+}
+
+void fixtureStreamLog() {
+#pragma omp parallel default(none)
+    {
+        // (4) interleaved/unsynchronised logging
+        std::cout << "worker alive\n";
+    }
+}
+
+void fixtureContainerMutation(std::vector<int>& sink) {
+#pragma omp parallel for default(none) shared(sink)
+    for (int i = 0; i < 100; ++i) {
+        // (5) concurrent push_back on a non-thread-local container
+        sink.push_back(i);
+    }
+}
+
+void fixtureCompoundWrite(std::vector<int>& data, long total) {
+#pragma omp parallel for default(none) shared(data, total)
+    for (int i = 0; i < 100; ++i) {
+        // (6) read-modify-write without '#pragma omp atomic' (lost update)
+        total += data[i];
+    }
+}
+
+void fixtureUnannotatedPublish(std::vector<int>& label) {
+#pragma omp parallel for default(none) shared(label)
+    for (int v = 0; v < 100; ++v) {
+        const int neighbor = label[(v + 1) % 100];
+        // (7) write through shared label[] that is also read above:
+        // stale-publication by design, but the annotation is missing
+        label[v] = neighbor;
+    }
+}
+
+void fixtureBadAnnotation(std::vector<int>& label) {
+#pragma omp parallel for default(none) shared(label)
+    for (int v = 0; v < 100; ++v) {
+        // grapr:benign-race(label)
+        // (8) annotation above has no ': <reason>' part
+        label[v] = label[(v + 1) % 100];
+    }
+}

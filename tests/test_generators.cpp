@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "generators/barabasi_albert.hpp"
 #include "generators/configuration_model.hpp"
@@ -18,6 +20,7 @@
 #include "generators/watts_strogatz.hpp"
 #include "graph/graph_tools.hpp"
 #include "quality/connected_components.hpp"
+#include "support/parallel.hpp"
 #include "support/random.hpp"
 
 using namespace grapr;
@@ -349,4 +352,51 @@ TEST(Generators, DeterministicUnderSeed) {
     Random::setSeed(50);
     Graph d = RmatGenerator(10, 8).generate();
     EXPECT_TRUE(c.structurallyEquals(d));
+}
+
+namespace {
+
+// Canonical (sorted) edge list: GraphBuilder's scatter order depends on
+// thread scheduling, so adjacency order is arbitrary — but the edge *set*
+// must not be.
+std::vector<std::tuple<node, node, edgeweight>> canonicalEdges(
+    const Graph& g) {
+    std::vector<std::tuple<node, node, edgeweight>> edges;
+    edges.reserve(g.numberOfEdges());
+    g.forEdges([&](node u, node v, edgeweight w) {
+        edges.emplace_back(u, v, w);
+    });
+    std::sort(edges.begin(), edges.end());
+    return edges;
+}
+
+} // namespace
+
+// Satellite regression: generators draw from per-row/per-sample counter
+// streams (Random::forStream), so the same seed must yield the same graph
+// no matter how many threads generate it or how iterations are scheduled.
+TEST(GeneratorDeterminism, OutputIndependentOfThreadCount) {
+    const int savedThreads = Parallel::maxThreads();
+    const auto generateAll = [](int threads) {
+        Parallel::setThreads(threads);
+        Random::setSeed(20260806);
+        std::vector<std::vector<std::tuple<node, node, edgeweight>>> out;
+        out.push_back(canonicalEdges(ErdosRenyiGenerator(800, 0.02).generate()));
+        out.push_back(canonicalEdges(
+            PlantedPartitionGenerator(600, 6, 0.2, 0.01).generate()));
+        out.push_back(canonicalEdges(RmatGenerator(10, 8).generate()));
+        out.push_back(canonicalEdges(GridGenerator(40, 25, 0.3).generate()));
+        return out;
+    };
+    const auto reference = generateAll(1);
+    for (int threads : {2, 4}) {
+        const auto got = generateAll(threads);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            EXPECT_EQ(got[i], reference[i])
+                << "generator #" << i << " diverged at " << threads
+                << " threads";
+        }
+    }
+    Parallel::setThreads(savedThreads);
 }

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "graph/graph.hpp"
 #include "graph/graph_builder.hpp"
 #include "graph/graph_tools.hpp"
+#include "support/parallel.hpp"
 #include "support/random.hpp"
 
 using namespace grapr;
@@ -443,4 +445,35 @@ TEST(GraphBuilder, BuiltGraphReportsUnsortedLists) {
     EXPECT_FALSE(g.hasSortedNeighborLists()); // scatter order is arbitrary
     const Graph empty = GraphBuilder(3, false).build();
     EXPECT_TRUE(empty.hasSortedNeighborLists());
+}
+
+// Satellite regression for the GraphBuilder overflow path: the per-thread
+// buffer pool is sized at construction, but OpenMP's thread count can be
+// raised before addEdge runs. Threads beyond the pool used to alias buffer
+// 0 (a data race and lost edges); they must fall back to the locked
+// overflow buffer and lose nothing.
+TEST(GraphBuilder, ThreadCountRaisedAfterConstructionLosesNoEdges) {
+    const int savedThreads = Parallel::maxThreads();
+    Parallel::setThreads(1);
+    GraphBuilder builder(512, false); // pool sized for a single thread
+    Parallel::setThreads(std::min(8, savedThreads > 1 ? savedThreads : 8));
+
+    const count edges = 511;
+    const auto sedges = static_cast<std::int64_t>(edges);
+#pragma omp parallel for default(none) shared(builder, sedges)               \
+    schedule(static)
+    for (std::int64_t i = 0; i < sedges; ++i) {
+        // grapr:lint-allow(container-mutation): addEdge is the builder's
+        // thread-safe insertion API (per-thread buffers + locked overflow).
+        builder.addEdge(static_cast<node>(i), static_cast<node>(i + 1));
+    }
+    EXPECT_EQ(builder.bufferedEdges(), edges);
+
+    const Graph g = builder.build();
+    EXPECT_EQ(g.numberOfEdges(), edges);
+    for (node v = 0; v < 511; ++v) {
+        EXPECT_TRUE(g.hasEdge(v, v + 1)) << "lost edge {" << v << ", "
+                                         << v + 1 << "}";
+    }
+    Parallel::setThreads(savedThreads);
 }

@@ -280,3 +280,31 @@ TEST(Require, ThrowsOnViolation) {
     EXPECT_THROW(require(false, "boom"), std::runtime_error);
     EXPECT_NO_THROW(require(true, "fine"));
 }
+
+// Satellite regression: prefixSum distributes scan blocks via worksharing
+// loops instead of assuming team member t exists for every requested block
+// t (num_threads is only a request). The result must be exact for any
+// thread count, including when it changes between calls.
+TEST(ParallelPrefixSum, ExactAcrossThreadCounts) {
+    const int savedThreads = Parallel::maxThreads();
+    std::vector<count> base(1u << 17);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        base[i] = static_cast<count>((i * 2654435761u) % 97);
+    }
+    std::vector<count> expected = base;
+    count running = 0;
+    for (auto& v : expected) {
+        const count x = v;
+        v = running;
+        running += x;
+    }
+    for (int threads : {1, 2, 3, 5, 8}) {
+        Parallel::setThreads(threads);
+        std::vector<count> values = base;
+        EXPECT_EQ(Parallel::prefixSum(values), running)
+            << "total wrong at " << threads << " threads";
+        EXPECT_EQ(values, expected) << "scan wrong at " << threads
+                                    << " threads";
+    }
+    Parallel::setThreads(savedThreads);
+}

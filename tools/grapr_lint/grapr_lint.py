@@ -1,0 +1,591 @@
+#!/usr/bin/env python3
+"""grapr-lint: OpenMP concurrency-contract linter for the grapr codebase.
+
+The PLM/PLP/PLMR family stays correct while tolerating stale reads under
+parallel label updates. That contract is enforced mechanically here, so a
+refactor cannot silently turn a tolerated stale read into an unreviewed
+data race, or quietly widen the set of variables a parallel region touches.
+
+Rules (each has a stable id used by `grapr:lint-allow(<rule>)`):
+
+  omp-default-none        Every `#pragma omp parallel` / `parallel for`
+                          must carry `default(none)` so all data sharing is
+                          explicit (the compiler then enforces the clause
+                          lists; the lint enforces that the clause exists).
+  no-default-shared       `default(shared)` is banned outright.
+  no-rand                 `rand()` / `srand()` / `drand48()` etc. are banned
+                          everywhere: parallel code must use the per-thread
+                          or counter-based engines in support/random.hpp.
+  no-stream-log           `std::cout` / `std::cerr` / `printf` inside a
+                          parallel region (interleaved output, hidden
+                          serialization). Log outside the region.
+  container-mutation      Mutating calls (`push_back`, `insert`, `erase`,
+                          `resize`, ...) on a container that is not
+                          declared inside the parallel region and not
+                          accessed through a per-thread slot
+                          (`[omp_get_thread_num()]`, `.local()`).
+  benign-race             Sites that read or publish shared state
+                          non-atomically by design must be annotated:
+                            * every `#pragma omp atomic read` (a stale
+                              snapshot of a concurrently-updated value),
+                            * Partition/Cover mutators (`.set`,
+                              `.moveToSubset`, `.addToSubset`,
+                              `.removeFromSubset`) on shared objects,
+                            * plain writes through a shared subscript path
+                              that is also *read* elsewhere in the region.
+                          The annotation names the variable and the reason:
+                              // grapr:benign-race(<var>): <reason>
+                          within the 4 lines above the site (or trailing).
+  compound-shared-write   `x += ...` / `++x` on a variable listed in the
+                          region's shared() clause without an immediately
+                          preceding `#pragma omp atomic` (classic lost
+                          update) and without an annotation.
+  annotation-format       Every `grapr:benign-race(...)` comment must be
+                          well-formed, give a non-empty reason, and name a
+                          variable that occurs within the next 8 lines.
+
+Suppression: `// grapr:lint-allow(<rule>): <reason>` on the offending line
+or the line directly above. Suppressions require a non-empty reason and an
+existing rule id; unused suppressions are reported as warnings.
+
+Known textual limitation (by design, documented in DESIGN.md): a lambda
+*defined outside* a parallel region but invoked inside it is not part of
+the region's textual extent and is not scanned by the region-scoped rules.
+The shadow race checker (GRAPR_RACE_CHECK) covers those paths at runtime.
+
+Usage:
+  grapr_lint.py [--compile-commands build/compile_commands.json]
+                [--root src] [files...]
+
+With no explicit files, the file set is the union of the translation units
+listed in compile_commands.json that live under --root, plus every header
+under --root. Exit status 1 if any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RULES = {
+    "omp-default-none",
+    "no-default-shared",
+    "no-rand",
+    "no-stream-log",
+    "container-mutation",
+    "benign-race",
+    "compound-shared-write",
+    "annotation-format",
+}
+
+BANNED_RNG = re.compile(r"(?<![\w:.>])(rand|srand|drand48|lrand48|mrand48|random)\s*\(")
+STREAM_LOG = re.compile(r"std::cout|std::cerr|(?<![\w:.>])(?:printf|fprintf|puts)\s*\(")
+MUTATORS = (
+    "push_back|emplace_back|emplace|pop_back|insert|erase|resize|assign|"
+    "reserve|clear|shrink_to_fit"
+)
+CONTAINER_MUTATION = re.compile(
+    r"(?P<recv>[A-Za-z_]\w*(?:(?:\[[^\][]*\]|\.[A-Za-z_]\w*|->[A-Za-z_]\w*))*)"
+    r"\.(?P<call>" + MUTATORS + r")\s*\("
+)
+PARTITION_MUTATORS = re.compile(
+    r"(?P<recv>[A-Za-z_]\w*)\.(?P<call>set|moveToSubset|addToSubset|removeFromSubset)\s*\("
+)
+ANNOTATION = re.compile(r"grapr:benign-race\((?P<var>[A-Za-z_]\w*)\)(?P<rest>[^\n]*)")
+LINT_ALLOW = re.compile(r"grapr:lint-allow\((?P<rule>[\w-]+)\)(?P<rest>[^\n]*)")
+COMPOUND_WRITE = re.compile(
+    r"(?:\+\+|--)\s*(?P<pre>[A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*;"
+    r"|(?P<post>[A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*(?:\+\+|--)\s*;"
+    r"|(?P<asgn>[A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*(?:\+=|-=|\*=|/=|\|=|&=|\^=)"
+)
+
+
+@dataclass
+class Pragma:
+    line: int            # 1-based line of the `#pragma`
+    text: str            # full pragma text, continuations joined
+    end_line: int        # last physical line of the pragma itself
+
+
+@dataclass
+class Region:
+    pragma: Pragma
+    begin: int           # first line of the structured block (1-based)
+    end: int             # last line of the structured block (inclusive)
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+    warning: bool = False
+
+    def render(self) -> str:
+        kind = "warning" if self.warning else "error"
+        return f"{self.path}:{self.line}: {kind}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileLint:
+    path: Path
+    lines: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    used_allows: set[int] = field(default_factory=set)
+
+    # -- comment / string handling -----------------------------------------
+
+    def code_line(self, i: int) -> str:
+        """Line i (0-based) with comments and string contents blanked."""
+        return self._code[i]
+
+    def prepare(self) -> None:
+        text = "\n".join(self.lines)
+        out = []
+        i, n = 0, len(text)
+        state = "code"
+        while i < n:
+            c = text[i]
+            if state == "code":
+                if c == "/" and i + 1 < n and text[i + 1] == "/":
+                    state = "line_comment"
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == "/" and i + 1 < n and text[i + 1] == "*":
+                    state = "block_comment"
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == '"':
+                    state = "string"
+                    out.append(c)
+                    i += 1
+                    continue
+                if c == "'":
+                    state = "char"
+                    out.append(c)
+                    i += 1
+                    continue
+                out.append(c)
+            elif state == "line_comment":
+                if c == "\n":
+                    state = "code"
+                    out.append(c)
+                else:
+                    out.append(" ")
+            elif state == "block_comment":
+                if c == "*" and i + 1 < n and text[i + 1] == "/":
+                    state = "code"
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if c == "\n" else " ")
+            elif state == "string":
+                if c == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == '"':
+                    state = "code"
+                    out.append(c)
+                else:
+                    out.append("\n" if c == "\n" else " ")
+            elif state == "char":
+                if c == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c == "'":
+                    state = "code"
+                    out.append(c)
+                else:
+                    out.append(" ")
+            i += 1
+        self._code = "".join(out).split("\n")
+        # Re-add trailing newline artifacts so indices line up.
+        while len(self._code) < len(self.lines):
+            self._code.append("")
+
+    # -- suppression / annotation lookup ------------------------------------
+
+    def allowed(self, line0: int, rule: str) -> bool:
+        """Is a `grapr:lint-allow(rule)` present on this line or in the
+        contiguous comment block directly above it? Walking the whole block
+        lets suppression reasons wrap over several comment lines."""
+        candidates = [line0]
+        j = line0 - 1
+        while j >= 0 and self.lines[j].lstrip().startswith("//"):
+            candidates.append(j)
+            j -= 1
+        for j in candidates:
+            if 0 <= j < len(self.lines):
+                m = LINT_ALLOW.search(self.lines[j])
+                if m and m.group("rule") == rule:
+                    self.used_allows.add(j)
+                    return True
+        return False
+
+    def annotated(self, line0: int, lookback: int = 4) -> bool:
+        """Is a benign-race annotation within `lookback` lines above (or on
+        the same line as) line0?"""
+        for j in range(max(0, line0 - lookback), line0 + 1):
+            if ANNOTATION.search(self.lines[j]):
+                return True
+        return False
+
+    def report(self, line0: int, rule: str, message: str,
+               warning: bool = False) -> None:
+        if not warning and self.allowed(line0, rule):
+            return
+        self.findings.append(
+            Finding(self.path, line0 + 1, rule, message, warning))
+
+    # -- pragma and region discovery ----------------------------------------
+
+    def pragmas(self) -> list[Pragma]:
+        result = []
+        i = 0
+        while i < len(self._code):
+            stripped = self._code[i].strip()
+            if stripped.startswith("#pragma") and " omp" in stripped:
+                text = stripped
+                end = i
+                while text.endswith("\\") and end + 1 < len(self._code):
+                    end += 1
+                    text = text[:-1] + " " + self._code[end].strip()
+                result.append(Pragma(i + 1, re.sub(r"\s+", " ", text), end + 1))
+                i = end + 1
+                continue
+            i += 1
+        return result
+
+    def region_for(self, pragma: Pragma) -> Region | None:
+        """Textual extent of the structured block following `pragma`."""
+        flat = "\n".join(self._code)
+        line_starts = [0]
+        for ln in self._code:
+            line_starts.append(line_starts[-1] + len(ln) + 1)
+        pos = line_starts[pragma.end_line]  # char offset after pragma's last line
+
+        def line_of(p: int) -> int:
+            lo, hi = 0, len(line_starts) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if line_starts[mid] <= p:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo + 1  # 1-based
+
+        def skip_ws(p: int) -> int:
+            while p < len(flat) and flat[p] in " \t\n":
+                p += 1
+            return p
+
+        def match_delim(p: int, open_c: str, close_c: str) -> int:
+            depth = 0
+            while p < len(flat):
+                if flat[p] == open_c:
+                    depth += 1
+                elif flat[p] == close_c:
+                    depth -= 1
+                    if depth == 0:
+                        return p
+                p += 1
+            return -1
+
+        p = skip_ws(pos)
+        # A chain of omp pragmas (e.g. `omp parallel` then `omp for`):
+        # the region is the block after the first non-pragma construct.
+        while flat.startswith("#pragma", p):
+            nl = flat.find("\n", p)
+            while nl != -1 and flat[:nl].rstrip().endswith("\\"):
+                nl = flat.find("\n", nl + 1)
+            if nl == -1:
+                return None
+            p = skip_ws(nl + 1)
+        if flat.startswith("for", p):
+            close = match_delim(flat.find("(", p), "(", ")")
+            if close == -1:
+                return None
+            p = skip_ws(close + 1)
+        if p < len(flat) and flat[p] == "{":
+            close = match_delim(p, "{", "}")
+            if close == -1:
+                return None
+            return Region(pragma, line_of(p), line_of(close))
+        # Single-statement body: up to the terminating semicolon.
+        semi = flat.find(";", p)
+        if semi == -1:
+            return None
+        return Region(pragma, line_of(p), line_of(semi))
+
+    # -- rules ---------------------------------------------------------------
+
+    def lint(self) -> None:
+        self.prepare()
+        self.check_rng()
+        self.check_annotation_format()
+        regions = []
+        for pragma in self.pragmas():
+            tokens = pragma.text.split()
+            # tokens: ['#pragma', 'omp', directive...]
+            directive = tokens[2] if len(tokens) > 2 else ""
+            if directive != "parallel":
+                continue
+            self.check_pragma_clauses(pragma)
+            region = self.region_for(pragma)
+            if region is None:
+                self.report(pragma.line - 1, "omp-default-none",
+                            "could not determine the structured block of "
+                            "this parallel construct")
+                continue
+            regions.append(region)
+        for region in regions:
+            self.check_region(region)
+        self.check_unused_allows()
+
+    def check_pragma_clauses(self, pragma: Pragma) -> None:
+        line0 = pragma.line - 1
+        if "default(shared)" in pragma.text.replace(" ", ""):
+            self.report(line0, "no-default-shared",
+                        "default(shared) is banned; use default(none) with "
+                        "explicit shared()/firstprivate() clauses")
+            return
+        if "default(none)" not in pragma.text.replace(" ", ""):
+            self.report(line0, "omp-default-none",
+                        "parallel construct without default(none): every "
+                        "OpenMP region must declare its data sharing "
+                        "explicitly")
+
+    def shared_vars(self, pragma: Pragma) -> set[str]:
+        shared: set[str] = set()
+        for m in re.finditer(r"shared\s*\(([^)]*)\)", pragma.text):
+            for var in m.group(1).split(","):
+                var = var.strip()
+                if var and var != "this":
+                    shared.add(var)
+        return shared
+
+    def region_text(self, region: Region) -> list[tuple[int, str]]:
+        """(0-based line, blanked code) pairs of the region's extent."""
+        return [(i, self._code[i])
+                for i in range(region.begin - 1, region.end)]
+
+    def declared_in_region(self, region: Region, ident: str,
+                           before_line0: int) -> bool:
+        decl = re.compile(
+            r"(?:^|[(,;{]|\bauto\b[^;]{0,40}?|\bconst\b\s+)"
+            r"(?:[A-Za-z_][\w:]*(?:<[^;=]*>)?\s*[&*]?\s+|&\s*|\[)"
+            r"(?:\[?\s*)?" + re.escape(ident) + r"\b\s*(?:[,\]=;({:]|$)")
+        simple = re.compile(
+            r"(?:\bauto\b|\bconst\b|[A-Za-z_][\w:]*(?:<[^;=]*>)?)\s*"
+            r"[&*]?\s*\b" + re.escape(ident) + r"\b\s*[=;({]")
+        structured = re.compile(
+            r"\[[^\]]*\b" + re.escape(ident) + r"\b[^\]]*\]\s*[:=]")
+        for i, code in self.region_text(region):
+            if i > before_line0:
+                break
+            if simple.search(code) or decl.search(code) or \
+                    structured.search(code):
+                return True
+        return False
+
+    def check_rng(self) -> None:
+        for i, code in enumerate(self._code):
+            m = BANNED_RNG.search(code)
+            if m:
+                self.report(i, "no-rand",
+                            f"'{m.group(1)}()' is banned: use the "
+                            "per-thread/counter-based engines in "
+                            "support/random.hpp")
+
+    def check_annotation_format(self) -> None:
+        for i, raw in enumerate(self.lines):
+            for m in ANNOTATION.finditer(raw):
+                rest = m.group("rest")
+                if not rest.startswith(":") or not rest[1:].strip():
+                    self.report(i, "annotation-format",
+                                "benign-race annotation must be "
+                                "'grapr:benign-race(<var>): <reason>' with "
+                                "a non-empty reason")
+                    continue
+                var = m.group("var")
+                window = "\n".join(
+                    self._code[i:min(len(self._code), i + 9)])
+                if not re.search(r"\b" + re.escape(var) + r"\b", window):
+                    self.report(i, "annotation-format",
+                                f"annotated variable '{var}' does not occur "
+                                "within the next 8 lines")
+            for m in LINT_ALLOW.finditer(raw):
+                rule = m.group("rule")
+                rest = m.group("rest")
+                if rule not in RULES:
+                    self.report(i, "annotation-format",
+                                f"lint-allow names unknown rule '{rule}'")
+                if not rest.startswith(":") or not rest[1:].strip():
+                    self.report(i, "annotation-format",
+                                "lint-allow must give a non-empty reason: "
+                                "'grapr:lint-allow(<rule>): <reason>'")
+
+    def check_region(self, region: Region) -> None:
+        shared = self.shared_vars(region.pragma)
+        reads: dict[str, int] = {}
+        writes: list[tuple[int, str]] = []
+
+        for i, code in self.region_text(region):
+            if STREAM_LOG.search(code):
+                self.report(i, "no-stream-log",
+                            "stream/printf logging inside a parallel region")
+            for m in CONTAINER_MUTATION.finditer(code):
+                recv = m.group("recv")
+                base = re.match(r"[A-Za-z_]\w*", recv).group(0)
+                if "omp_get_thread_num" in recv or ".local()" in recv:
+                    continue
+                if self.declared_in_region(region, base, i):
+                    continue
+                self.report(i, "container-mutation",
+                            f"'{recv}.{m.group('call')}(...)' mutates a "
+                            "container that is neither region-local nor "
+                            "per-thread")
+            for m in PARTITION_MUTATORS.finditer(code):
+                recv = m.group("recv")
+                if self.declared_in_region(region, recv, i):
+                    continue
+                if not self.annotated(i):
+                    self.report(i, "benign-race",
+                                f"'{recv}.{m.group('call')}(...)' publishes "
+                                "a label visible to concurrent readers; "
+                                "annotate with grapr:benign-race("
+                                f"{recv}): <reason>")
+            for m in COMPOUND_WRITE.finditer(code):
+                var = m.group("pre") or m.group("post") or m.group("asgn")
+                if var in shared:
+                    prev = self._code[i - 1].strip() if i > 0 else ""
+                    if prev.startswith("#pragma omp atomic"):
+                        continue
+                    if not self.annotated(i):
+                        self.report(i, "compound-shared-write",
+                                    f"read-modify-write of shared '{var}' "
+                                    "without '#pragma omp atomic' (lost "
+                                    "update)")
+            # Track subscript reads/writes of shared vars for the
+            # write+read stale-publication rule.
+            for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\[", code):
+                var = m.group(1)
+                if var not in shared:
+                    continue
+                close = code.find("]", m.end())
+                after = code[close + 1:close + 4] if close != -1 else ""
+                if re.match(r"\s*=(?!=)", after):
+                    writes.append((i, var))
+                else:
+                    reads.setdefault(var, i)
+
+        atomic_read_pending = False
+        for i in range(region.pragma.line - 1, region.end):
+            stripped = self._code[i].strip()
+            if stripped.startswith("#pragma omp atomic") and \
+                    "read" in stripped:
+                if not self.annotated(i):
+                    self.report(i, "benign-race",
+                                "atomic read of concurrently-updated state "
+                                "takes a stale snapshot by design; annotate "
+                                "with grapr:benign-race(<var>): <reason>")
+                atomic_read_pending = True
+        del atomic_read_pending
+
+        for i, var in writes:
+            if var in reads and not self.annotated(i):
+                self.report(i, "benign-race",
+                            f"plain write through shared '{var}[...]' which "
+                            "is also read in this region: concurrent "
+                            "readers may observe the update (stale-read "
+                            "contract); annotate with grapr:benign-race("
+                            f"{var}): <reason>")
+
+    def check_unused_allows(self) -> None:
+        for i, raw in enumerate(self.lines):
+            if LINT_ALLOW.search(raw) and i not in self.used_allows:
+                self.report(i, "annotation-format",
+                            "unused grapr:lint-allow suppression",
+                            warning=True)
+
+
+def collect_files(args: argparse.Namespace) -> list[Path]:
+    if args.files:
+        return [Path(f) for f in args.files]
+    root = Path(args.root).resolve()
+    files: set[Path] = set()
+    if args.compile_commands:
+        cc_path = Path(args.compile_commands)
+        if cc_path.exists():
+            for entry in json.loads(cc_path.read_text()):
+                f = Path(entry["file"])
+                if not f.is_absolute():
+                    f = Path(entry["directory"]) / f
+                f = f.resolve()
+                if root in f.parents or f == root:
+                    files.add(f)
+        else:
+            print(f"grapr-lint: note: {cc_path} not found; "
+                  "falling back to a source glob", file=sys.stderr)
+    if not files:
+        files.update(root.rglob("*.cpp"))
+    files.update(root.rglob("*.hpp"))
+    files.update(root.rglob("*.h"))
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json")
+    parser.add_argument("--root", default="src",
+                        help="source root to lint (default: src)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files (overrides discovery)")
+    args = parser.parse_args()
+
+    files = collect_files(args)
+    if not files:
+        print("grapr-lint: no input files", file=sys.stderr)
+        return 2
+
+    errors = 0
+    warnings = 0
+    regions = 0
+    for path in files:
+        try:
+            text = path.read_text()
+        except OSError as e:
+            print(f"grapr-lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        linter = FileLint(path, text.splitlines(keepends=False))
+        linter.lint()
+        regions += sum(1 for p in linter.pragmas()
+                       if len(p.text.split()) > 2
+                       and p.text.split()[2] == "parallel")
+        for finding in linter.findings:
+            print(finding.render())
+            if finding.warning:
+                warnings += 1
+            else:
+                errors += 1
+
+    if not args.quiet:
+        print(f"grapr-lint: {len(files)} files, {regions} parallel regions, "
+              f"{errors} errors, {warnings} warnings")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

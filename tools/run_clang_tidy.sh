@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Run clang-tidy (profile: .clang-tidy) over the grapr sources using an
+# exported compile database, and compare the warning count against the
+# committed baseline.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# Exit codes:
+#   0  warning count <= baseline
+#   1  warning count grew past the baseline (fix, or bump the baseline
+#      consciously in review)
+#   2  setup problem (no clang-tidy, no compile_commands.json)
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE_FILE="$ROOT/tools/clang_tidy_baseline.txt"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_clang_tidy: '$TIDY' not found; install clang-tidy or set" \
+         "CLANG_TIDY" >&2
+    exit 2
+fi
+if [ ! -f "$ROOT/$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing —" \
+         "configure with cmake first (export is always on)" >&2
+    exit 2
+fi
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+# Sources only; headers are pulled in via HeaderFilterRegex.
+find "$ROOT/src" -name '*.cpp' | sort | \
+    xargs "$TIDY" -p "$ROOT/$BUILD_DIR" --quiet 2>/dev/null | tee "$LOG"
+
+COUNT="$(grep -c 'warning:' "$LOG" || true)"
+BASELINE="$(cat "$BASELINE_FILE" 2>/dev/null || echo 0)"
+echo "clang-tidy: $COUNT warnings (baseline: $BASELINE)"
+if [ "$COUNT" -gt "$BASELINE" ]; then
+    echo "clang-tidy: warning count grew past the baseline" >&2
+    exit 1
+fi
+exit 0
