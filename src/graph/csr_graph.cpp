@@ -29,12 +29,15 @@ edgeweight rowVolume(node v, const std::vector<node>& neighbors,
 
 } // namespace
 
-CsrGraph::CsrGraph(const Graph& g)
+CsrGraph::CsrGraph(const Graph& g GRAPR_VIEW_SITE_ARG)
     : n_(g.numberOfNodes()),
       m_(g.numberOfEdges()),
       selfLoops_(g.numberOfSelfLoops()),
       weighted_(g.isWeighted()),
       totalWeight_(g.totalEdgeWeight()) {
+#ifdef GRAPR_VIEW_CHECK
+    viewStamp_ = view::ViewStamp(g.viewSourceStamp_, graprViewSite_);
+#endif
     const count bound = g.upperNodeIdBound();
 
     // Degree histogram -> exclusive prefix sum -> row offsets. Removed
@@ -130,6 +133,7 @@ CsrGraph::CsrGraph(std::vector<index> offsets, std::vector<node> neighbors,
 }
 
 std::vector<node> CsrGraph::nodeIds() const {
+    GRAPR_VIEW_ASSERT(viewStamp_);
     std::vector<node> ids;
     ids.reserve(n_);
     forNodes([&](node v) { ids.push_back(v); });
@@ -137,6 +141,7 @@ std::vector<node> CsrGraph::nodeIds() const {
 }
 
 Graph CsrGraph::toGraph() const {
+    GRAPR_VIEW_ASSERT(viewStamp_);
     const count bound = upperNodeIdBound();
     Graph g(bound, weighted_);
     // Write the rows directly (CsrGraph is a friend of Graph, like

@@ -31,6 +31,7 @@
 
 #include "graph/graph.hpp"
 #include "support/common.hpp"
+#include "support/view_check.hpp"
 
 namespace grapr {
 
@@ -41,7 +42,10 @@ public:
 
     /// Freeze g into CSR form. Parallel: degree scan + prefix sum +
     /// parallel scatter. Adjacency order of every node is preserved.
-    explicit CsrGraph(const Graph& g);
+    /// GRAPR_VIEW_CHECK builds capture the caller as the freeze site and
+    /// the source graph's mutation generation; every accessor then asserts
+    /// the source has not mutated since (see support/view_check.hpp).
+    explicit CsrGraph(const Graph& g GRAPR_VIEW_SITE_PARAM);
 
     /// Assemble from raw CSR arrays (all nodes exist, adjacency must be
     /// symmetric with self-loops stored once). Takes ownership of the
@@ -68,10 +72,12 @@ public:
     // --- degrees, weights, volumes -----------------------------------------
 
     count degree(node v) const noexcept {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         return static_cast<count>(offsets_[v + 1] - offsets_[v]);
     }
 
     edgeweight weightedDegree(node v) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         if (!weighted_) return static_cast<edgeweight>(degree(v));
         edgeweight total = 0.0;
         for (index i = offsets_[v]; i < offsets_[v + 1]; ++i) {
@@ -81,17 +87,25 @@ public:
     }
 
     /// vol(v), precomputed at freeze time (self-loop counted twice).
-    edgeweight volume(node v) const noexcept { return volume_[v]; }
+    edgeweight volume(node v) const noexcept {
+        GRAPR_VIEW_ASSERT(viewStamp_);
+        return volume_[v];
+    }
 
-    edgeweight totalEdgeWeight() const noexcept { return totalWeight_; }
+    edgeweight totalEdgeWeight() const noexcept {
+        GRAPR_VIEW_ASSERT(viewStamp_);
+        return totalWeight_;
+    }
 
     // --- neighborhood access -----------------------------------------------
 
     node getIthNeighbor(node v, index i) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         return neighbors_[offsets_[v] + i];
     }
 
     edgeweight getIthNeighborWeight(node v, index i) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         return weighted_ ? weights_[offsets_[v] + i] : 1.0;
     }
 
@@ -99,6 +113,7 @@ public:
 
     template <typename F>
     void forNodes(F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const count bound = upperNodeIdBound();
         for (node v = 0; v < bound; ++v) {
             if (exists_[v]) f(v);
@@ -107,6 +122,7 @@ public:
 
     template <typename F>
     void parallelForNodes(F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
 #pragma omp parallel for default(none) shared(f, bound) schedule(static)
         for (std::int64_t v = 0; v < bound; ++v) {
@@ -116,6 +132,7 @@ public:
 
     template <typename F>
     void balancedParallelForNodes(F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
 #pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t v = 0; v < bound; ++v) {
@@ -126,6 +143,7 @@ public:
     /// Apply f(v, w) to every neighbor of u (self-loop delivered once).
     template <typename F>
     void forNeighborsOf(node u, F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const index lo = offsets_[u];
         const index hi = offsets_[u + 1];
         if (weighted_) {
@@ -138,6 +156,7 @@ public:
     /// Apply f(u, v, w) to every undirected edge exactly once (v >= u).
     template <typename F>
     void forEdges(F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const count bound = upperNodeIdBound();
         for (node u = 0; u < bound; ++u) {
             for (index i = offsets_[u]; i < offsets_[u + 1]; ++i) {
@@ -149,6 +168,7 @@ public:
 
     template <typename F>
     void parallelForEdges(F&& f) const {
+        GRAPR_VIEW_ASSERT(viewStamp_);
         const auto bound = static_cast<std::int64_t>(upperNodeIdBound());
 #pragma omp parallel for default(none) shared(f, bound) schedule(guided)
         for (std::int64_t su = 0; su < bound; ++su) {
@@ -190,6 +210,11 @@ private:
     std::vector<edgeweight> weights_;   // empty when unweighted
     std::vector<edgeweight> volume_;    // per-node, precomputed
     std::vector<std::uint8_t> exists_;  // holes survive freezing
+#ifdef GRAPR_VIEW_CHECK
+    // Freeze-time generation + freeze site; disengaged for views assembled
+    // from raw arrays (no source graph to go stale against).
+    view::ViewStamp viewStamp_;
+#endif
 };
 
 } // namespace grapr

@@ -16,7 +16,8 @@ Graph::Graph(count n, bool weighted)
       weights_(weighted ? n : 0),
       exists_(n, 1) {}
 
-node Graph::addNode() {
+node Graph::addNode(GRAPR_VIEW_SITE_ARG0) {
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     const node v = static_cast<node>(adjacency_.size());
     adjacency_.emplace_back();
     if (weighted_) weights_.emplace_back();
@@ -25,7 +26,7 @@ node Graph::addNode() {
     return v;
 }
 
-void Graph::removeNode(node v) {
+void Graph::removeNode(node v GRAPR_VIEW_SITE_ARG) {
     require(hasNode(v), "removeNode: node does not exist");
     // Remove edges incident to v; iterate over a copy because removeEdge
     // mutates adjacency_[v].
@@ -34,14 +35,16 @@ void Graph::removeNode(node v) {
     for (node u : incident) {
         // Multi-edges: removeEdge removes one instance per call, and
         // `incident` lists one entry per instance, so all go.
-        removeEdge(v, u);
+        removeEdge(v, u GRAPR_VIEW_SITE_FWD);
     }
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     exists_[v] = 0;
     --n_;
 }
 
-void Graph::addEdge(node u, node v, edgeweight w) {
+void Graph::addEdge(node u, node v, edgeweight w GRAPR_VIEW_SITE_ARG) {
     require(hasNode(u) && hasNode(v), "addEdge: node does not exist");
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     if (!weighted_) w = 1.0;
     sorted_ = false;
     adjacency_[u].push_back(v);
@@ -56,9 +59,9 @@ void Graph::addEdge(node u, node v, edgeweight w) {
     totalWeight_ += w;
 }
 
-bool Graph::addEdgeChecked(node u, node v, edgeweight w) {
+bool Graph::addEdgeChecked(node u, node v, edgeweight w GRAPR_VIEW_SITE_ARG) {
     if (hasEdge(u, v)) return false;
-    addEdge(u, v, w);
+    addEdge(u, v, w GRAPR_VIEW_SITE_FWD);
     return true;
 }
 
@@ -77,11 +80,12 @@ index Graph::indexOfNeighbor(node u, node v) const {
     return npos;
 }
 
-void Graph::removeEdge(node u, node v) {
+void Graph::removeEdge(node u, node v GRAPR_VIEW_SITE_ARG) {
     const index iu = indexOfNeighbor(u, v);
     require(iu != npos, "removeEdge: edge does not exist");
     const edgeweight w = weighted_ ? weights_[u][iu] : 1.0;
 
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     sorted_ = false; // swap-with-back removal breaks the order below
     auto dropAt = [this](node x, index i) {
         auto& adj = adjacency_[x];
@@ -112,13 +116,15 @@ bool Graph::hasEdge(node u, node v) const {
     return indexOfNeighbor(u, v) != npos;
 }
 
-void Graph::increaseWeight(node u, node v, edgeweight delta) {
+void Graph::increaseWeight(node u, node v, edgeweight delta
+                               GRAPR_VIEW_SITE_ARG) {
     require(weighted_, "increaseWeight: graph is unweighted");
     const index iu = indexOfNeighbor(u, v);
     if (iu == npos) {
-        addEdge(u, v, delta);
+        addEdge(u, v, delta GRAPR_VIEW_SITE_FWD);
         return;
     }
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     weights_[u][iu] += delta;
     if (u != v) {
         const index iv = indexOfNeighbor(v, u);
@@ -165,7 +171,10 @@ void Graph::reserveNeighbors(node v, count capacity) {
     if (weighted_) weights_[v].reserve(capacity);
 }
 
-void Graph::sortNeighborLists() {
+void Graph::sortNeighborLists(GRAPR_VIEW_SITE_ARG0) {
+    // A mutation for the view contract: frozen views keep pre-sort
+    // adjacency order, so positional reads would silently diverge.
+    GRAPR_VIEW_BUMP(viewSourceStamp_);
     const auto bound = static_cast<std::int64_t>(adjacency_.size());
 #pragma omp parallel for default(none) shared(bound) schedule(guided)
     for (std::int64_t sv = 0; sv < bound; ++sv) {

@@ -18,6 +18,7 @@
 #include <omp.h>
 
 #include "support/common.hpp"
+#include "support/view_check.hpp"
 
 namespace grapr {
 
@@ -48,22 +49,27 @@ public:
 
     // --- structural updates ------------------------------------------------
 
+    // Mutators carry a hidden defaulted std::source_location parameter in
+    // GRAPR_VIEW_CHECK builds (expanded by GRAPR_VIEW_SITE_PARAM) so a
+    // stale frozen view can report where its source graph mutated.
+
     /// Add an isolated node; returns its id.
-    node addNode();
+    node addNode(GRAPR_VIEW_SITE_PARAM0);
 
     /// Remove a node and all incident edges. O(sum of neighbor degrees).
-    void removeNode(node v);
+    void removeNode(node v GRAPR_VIEW_SITE_PARAM);
 
     /// Add undirected edge {u,v} with weight w (ignored when unweighted).
     /// Precondition: the edge does not already exist (checked only in
     /// addEdgeChecked); duplicate insertion creates a multi-edge.
-    void addEdge(node u, node v, edgeweight w = 1.0);
+    void addEdge(node u, node v, edgeweight w = 1.0 GRAPR_VIEW_SITE_PARAM);
 
     /// Like addEdge but returns false (and does nothing) if {u,v} exists.
-    bool addEdgeChecked(node u, node v, edgeweight w = 1.0);
+    bool addEdgeChecked(node u, node v,
+                        edgeweight w = 1.0 GRAPR_VIEW_SITE_PARAM);
 
     /// Remove undirected edge {u,v}; precondition: it exists.
-    void removeEdge(node u, node v);
+    void removeEdge(node u, node v GRAPR_VIEW_SITE_PARAM);
 
     /// Does the edge {u,v} exist? O(min(deg(u), deg(v))), dropping to
     /// O(log min(deg(u), deg(v))) after sortNeighborLists() while the
@@ -72,7 +78,8 @@ public:
 
     /// Increase the weight of existing edge {u,v} by delta (weighted graphs
     /// only); if the edge does not exist it is created with weight delta.
-    void increaseWeight(node u, node v, edgeweight delta);
+    void increaseWeight(node u, node v, edgeweight delta
+                            GRAPR_VIEW_SITE_PARAM);
 
     /// Weight of edge {u,v}; 0 if absent, 1 for present edges of an
     /// unweighted graph.
@@ -198,7 +205,9 @@ public:
     /// Sort every adjacency list by neighbor id (weights permuted along).
     /// Improves scan locality and switches hasEdge/weight membership
     /// lookups to binary search; invalidates positional neighbor indices.
-    void sortNeighborLists();
+    /// Counts as a mutation for the view-lifecycle contract: frozen views
+    /// preserve pre-sort adjacency order, so positional reads diverge.
+    void sortNeighborLists(GRAPR_VIEW_SITE_PARAM0);
 
     /// True while every adjacency list is sorted ascending: set by
     /// sortNeighborLists() (and trivially on construction), cleared by any
@@ -221,6 +230,11 @@ private:
     std::vector<std::vector<edgeweight>> weights_; // empty when unweighted
     std::vector<std::uint8_t> exists_;
     bool sorted_ = true; // empty adjacency lists are trivially sorted
+#ifdef GRAPR_VIEW_CHECK
+    // Mutation generation cell shared with every CsrGraph frozen from this
+    // graph (see support/view_check.hpp). Copies get a fresh cell.
+    view::SourceStamp viewSourceStamp_;
+#endif
 
     /// Index of v in u's adjacency list, or none-like npos. Binary search
     /// when sorted_, linear scan otherwise.

@@ -1,0 +1,37 @@
+#include "support/view_check.hpp"
+
+#ifdef GRAPR_VIEW_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grapr::view {
+
+[[noreturn]] void reportStaleView(const char* freezeFile,
+                                  std::uint32_t freezeLine,
+                                  const GenerationCell& cell,
+                                  std::uint64_t frozenGeneration) {
+    const char* mutFile = cell.mutationFile.load(std::memory_order_relaxed);
+    const std::uint32_t mutLine =
+        cell.mutationLine.load(std::memory_order_relaxed);
+    const std::uint64_t current =
+        cell.generation.load(std::memory_order_relaxed);
+    std::fprintf(
+        stderr,
+        "grapr: VIEW-LIFECYCLE VIOLATION: stale CsrGraph read\n"
+        "  view frozen at:      %s:%u (source generation %llu)\n"
+        "  source mutated at:   %s:%u (generation now %llu)\n"
+        "  contract: a frozen view must not be read after its source Graph\n"
+        "  mutates — re-freeze after the last mutation, or finish reading\n"
+        "  the view first (DESIGN.md \"View lifecycle contract\").\n",
+        freezeFile ? freezeFile : "<unknown>", freezeLine,
+        static_cast<unsigned long long>(frozenGeneration),
+        mutFile ? mutFile : "<unknown>", mutLine,
+        static_cast<unsigned long long>(current));
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace grapr::view
+
+#endif // GRAPR_VIEW_CHECK

@@ -1,0 +1,148 @@
+#pragma once
+// GRAPR_VIEW_CHECK — a runtime backstop for the CSR view-lifecycle contract
+// (DESIGN.md "View lifecycle contract").
+//
+// A CsrGraph is a frozen snapshot of a Graph. The contract says a view must
+// never be *read* after its source Graph mutates: the snapshot would keep
+// serving pre-mutation volumes, degrees and adjacency while the caller
+// believes it reflects the current graph. The static analyzer
+// (tools/grapr_analyze, check `csr-staleness`) proves the property for the
+// code paths it can see; this header is the cheap runtime complement that
+// catches whatever escapes it — views smuggled through containers, type
+// erasure, or call chains the intra-procedural analysis cannot follow.
+//
+// Mechanism: every Graph owns a heap cell holding {generation counter,
+// last-mutation site}. Each mutating method bumps the generation and stamps
+// its caller's source location (std::source_location, captured through a
+// defaulted parameter so the report points at user code, not graph.cpp).
+// CsrGraph's freezing constructor shares the cell and records the
+// generation plus its own call site; every accessor asserts the generation
+// still matches and aborts with BOTH locations — where the view was frozen
+// and where the source mutated — on a mismatch.
+//
+// Lifetime: the cell is a shared_ptr, so a view outliving its source Graph
+// is fine (destruction is not mutation — the snapshot owns its arrays).
+// Copying a Graph allocates a fresh cell: a copy is a new graph, and
+// mutating it must not invalidate views frozen from the original. Moving
+// transfers the cell: views follow the data.
+//
+// Everything compiles to `((void)0)` / empty members unless the build sets
+// GRAPR_VIEW_CHECK (cmake -DGRAPR_VIEW_CHECK=ON). The macro arguments are
+// not evaluated in that case, so call sites may name members that only
+// exist under the flag.
+
+#ifdef GRAPR_VIEW_CHECK
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <source_location>
+
+namespace grapr::view {
+
+/// Shared generation cell: one per live Graph, referenced by every view
+/// frozen from it. The mutation-site fields are plain stores behind the
+/// atomic counter — Graph mutators are sequential by contract (the shadow
+/// race checker enforces that independently), so the counter alone carries
+/// the cross-thread visibility the *assert* path needs.
+struct GenerationCell {
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<const char*> mutationFile{nullptr};
+    std::atomic<std::uint32_t> mutationLine{0};
+};
+
+/// Abort with a two-location report. Defined in view_check.cpp.
+[[noreturn]] void reportStaleView(const char* freezeFile,
+                                  std::uint32_t freezeLine,
+                                  const GenerationCell& cell,
+                                  std::uint64_t frozenGeneration);
+
+/// Owned by Graph. Copy = fresh cell (a copied graph is a new graph);
+/// move = transfer (views follow the data); a moved-from stamp lazily
+/// re-allocates on the next bump.
+class SourceStamp {
+public:
+    SourceStamp() : cell_(std::make_shared<GenerationCell>()) {}
+
+    SourceStamp(const SourceStamp&)
+        : cell_(std::make_shared<GenerationCell>()) {}
+    SourceStamp& operator=(const SourceStamp& other) {
+        if (this != &other) cell_ = std::make_shared<GenerationCell>();
+        return *this;
+    }
+    SourceStamp(SourceStamp&&) noexcept = default;
+    SourceStamp& operator=(SourceStamp&&) noexcept = default;
+
+    void bump(const std::source_location& site) {
+        if (!cell_) cell_ = std::make_shared<GenerationCell>();
+        cell_->mutationFile.store(site.file_name(),
+                                  std::memory_order_relaxed);
+        cell_->mutationLine.store(site.line(), std::memory_order_relaxed);
+        cell_->generation.fetch_add(1, std::memory_order_release);
+    }
+
+    const std::shared_ptr<GenerationCell>& cell() const noexcept {
+        return cell_;
+    }
+
+private:
+    std::shared_ptr<GenerationCell> cell_;
+};
+
+/// Owned by CsrGraph. Disengaged (never fires) for views assembled from
+/// raw arrays — they have no source Graph to go stale against.
+class ViewStamp {
+public:
+    ViewStamp() = default;
+
+    ViewStamp(const SourceStamp& source, const std::source_location& site)
+        : cell_(source.cell()),
+          frozenGeneration_(
+              cell_->generation.load(std::memory_order_acquire)),
+          freezeFile_(site.file_name()),
+          freezeLine_(site.line()) {}
+
+    void check() const {
+        if (cell_ &&
+            cell_->generation.load(std::memory_order_acquire) !=
+                frozenGeneration_) {
+            reportStaleView(freezeFile_, freezeLine_, *cell_,
+                            frozenGeneration_);
+        }
+    }
+
+private:
+    std::shared_ptr<const GenerationCell> cell_;
+    std::uint64_t frozenGeneration_ = 0;
+    const char* freezeFile_ = nullptr;
+    std::uint32_t freezeLine_ = 0;
+};
+
+} // namespace grapr::view
+
+// Mutators take a defaulted std::source_location so the stale-view report
+// names the *caller's* line, not graph.cpp. The parameter exists only under
+// the flag; plain builds keep the unmodified signatures.
+#define GRAPR_VIEW_SITE_PARAM                                                \
+    , std::source_location graprViewSite_ = std::source_location::current()
+#define GRAPR_VIEW_SITE_ARG , std::source_location graprViewSite_
+// Variants for parameter lists that are otherwise empty (no leading comma).
+#define GRAPR_VIEW_SITE_PARAM0                                               \
+    std::source_location graprViewSite_ = std::source_location::current()
+#define GRAPR_VIEW_SITE_ARG0 std::source_location graprViewSite_
+// Forward the caller's site through an internal mutator-to-mutator call.
+#define GRAPR_VIEW_SITE_FWD , graprViewSite_
+#define GRAPR_VIEW_BUMP(stamp) (stamp).bump(graprViewSite_)
+#define GRAPR_VIEW_ASSERT(stamp) (stamp).check()
+
+#else // !GRAPR_VIEW_CHECK
+
+#define GRAPR_VIEW_SITE_PARAM
+#define GRAPR_VIEW_SITE_ARG
+#define GRAPR_VIEW_SITE_PARAM0
+#define GRAPR_VIEW_SITE_ARG0
+#define GRAPR_VIEW_SITE_FWD
+#define GRAPR_VIEW_BUMP(stamp) ((void)0)
+#define GRAPR_VIEW_ASSERT(stamp) ((void)0)
+
+#endif // GRAPR_VIEW_CHECK

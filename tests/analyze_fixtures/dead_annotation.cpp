@@ -1,0 +1,40 @@
+// Seeded annotation-liveness violations for grapr_analyze (ctest runs
+// this fixture with WILL_FAIL). An annotation that anchors nothing is a
+// contract exception nobody is using — worse than none, because readers
+// trust it.
+//
+// This file is analyzed, never compiled.
+
+#include "structures/partition.hpp"
+
+namespace grapr {
+
+void updateLabels(Partition& zeta, node u, node target) {
+    // (1) Stale benign-race annotation: `labels` is not touched anywhere
+    // in the following lines (the code it excused was refactored away).
+    // grapr:benign-race(labels): asynchronous label publish
+    zeta.set(u, target);
+}
+
+// (2) Unused lint-allow: nothing below violates container-mutation, so
+// the suppression gates nothing. grapr_lint reports this as a warning;
+// the analyzer escalates it to an error.
+void compactOnly(Partition& zeta) {
+    // grapr:lint-allow(container-mutation): rows are thread-private
+    zeta.compact();
+}
+
+// (3) analyze-allow naming a check that does not exist (typo'd id).
+void typoAllow(Partition& zeta, node u) {
+    // grapr:analyze-allow(index-witdh): bounded by construction
+    zeta.set(u, 0);
+}
+
+// Live annotation — must NOT be reported: the publish call is right
+// below it.
+void legalAnnotation(Partition& zeta, node u, node target) {
+    // grapr:benign-race(zeta): label published non-atomically by design
+    zeta.set(u, target);
+}
+
+} // namespace grapr

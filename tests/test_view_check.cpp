@@ -1,0 +1,281 @@
+// Tests for the GRAPR_VIEW_CHECK view-lifecycle stamp (support/view_check).
+//
+// The use-after-mutate fixture must abort the process, so it cannot run
+// inside the gtest process: like test_race_check.cpp, this binary has a
+// custom main() that re-execs itself (via /proc/self/exe) with
+// GRAPR_VIEW_FIXTURE set, runs the named fixture instead of the test
+// suite, and lets the parent assert on the child's exit status. Unlike the
+// race-check harness, the child's stderr is captured to a file: the tests
+// assert the abort report names BOTH the freeze site and the mutation site
+// (this file, by name).
+//
+// Every test is a GTEST_SKIP no-op when the build does not define
+// GRAPR_VIEW_CHECK — the binary still builds and runs in plain builds.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "community/epp.hpp"
+#include "community/plm.hpp"
+#include "community/plp.hpp"
+#include "generators/planted_partition.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define GRAPR_CAN_REEXEC 1
+#else
+#define GRAPR_CAN_REEXEC 0
+#endif
+
+namespace {
+
+// Child exit codes for fixture runs (distinct from gtest's 0/1).
+constexpr int kFixtureSurvived = 0;  // fixture ran to completion
+constexpr int kFixtureUnknown = 98;  // unrecognised fixture name
+
+grapr::Graph smallGraph() {
+    grapr::Random::setSeed(1337);
+    return grapr::PlantedPartitionGenerator(300, 6, 0.3, 0.02).generate();
+}
+
+// Freeze a view, mutate the source, then read through the view. In a
+// GRAPR_VIEW_CHECK build the first read must abort with the freeze site
+// and the mutation site; surviving to the return statement means the
+// stamp failed to fire.
+int runStaleReadFixture() {
+    grapr::Graph g = smallGraph();
+    const grapr::CsrGraph frozen(g);              // freeze site
+    g.addEdge(0, 5);                              // mutation site
+    double sink = 0.0;
+    frozen.forNeighborsOf(0, [&](grapr::node, grapr::edgeweight w) {
+        sink += w;                                // stale read — must abort
+    });
+    return sink >= 0.0 ? kFixtureSurvived : kFixtureUnknown;
+}
+
+// The legal lifecycle: freeze after the last mutation, read, let the view
+// die before mutating again. Also covers views of a *copy* (mutating the
+// original must not invalidate them) and array-assembled views (no source
+// graph; the stamp is disengaged). Must run to completion.
+int runLegalLifecycleFixture() {
+    grapr::Graph g = smallGraph();
+    {
+        const grapr::CsrGraph frozen(g);
+        double sink = 0.0;
+        frozen.forEdges([&](grapr::node, grapr::node, grapr::edgeweight w) {
+            sink += w;
+        });
+        if (sink <= 0.0) return kFixtureUnknown;
+    }
+    g.addEdge(0, 7); // no live view: mutating between freezes is fine
+
+    grapr::Graph copy = g;       // fresh generation cell
+    const grapr::CsrGraph viewOfG(g);
+    copy.addEdge(1, 9);          // mutates the copy, not g
+    if (viewOfG.numberOfEdges() != g.numberOfEdges()) return kFixtureUnknown;
+
+    // Round-trip through raw arrays: the assembled view has no source.
+    grapr::CsrGraph assembled(
+        std::vector<grapr::index>(viewOfG.offsets()),
+        std::vector<grapr::node>(viewOfG.neighborArray()),
+        std::vector<grapr::edgeweight>(viewOfG.weightArray()),
+        viewOfG.isWeighted());
+    g.addEdge(2, 11);
+    return assembled.numberOfEdges() == viewOfG.numberOfEdges()
+               ? kFixtureSurvived
+               : kFixtureUnknown;
+}
+
+// The full production pipelines must survive with the stamp armed: PLM
+// (freeze-per-level recursion), PLMR (refinement reuses the level's view),
+// PLP and EPP. A false positive here means a pipeline reads a view across
+// a mutation of its source.
+int runPipelinesFixture() {
+    grapr::Graph g = smallGraph();
+    (void)grapr::Plp().run(g);
+    (void)grapr::Plm().run(g);
+    grapr::PlmConfig refine;
+    refine.refine = true;
+    (void)grapr::Plm(refine).run(g);
+    grapr::Epp epp(
+        2, [] { return std::make_unique<grapr::Plp>(); },
+        [] { return std::make_unique<grapr::Plm>(); });
+    (void)epp.run(g);
+    return kFixtureSurvived;
+}
+
+int runFixture(const char* name) {
+    if (std::strcmp(name, "stale") == 0) return runStaleReadFixture();
+    if (std::strcmp(name, "legal") == 0) return runLegalLifecycleFixture();
+    if (std::strcmp(name, "pipelines") == 0) return runPipelinesFixture();
+    return kFixtureUnknown;
+}
+
+#if GRAPR_CAN_REEXEC && defined(GRAPR_VIEW_CHECK)
+
+struct ChildResult {
+    bool spawned = false;
+    bool signalled = false;
+    int signal = 0;
+    int exitCode = -1;
+    std::string output; // child stderr
+};
+
+// Re-exec this binary with GRAPR_VIEW_FIXTURE=<fixture>, capturing the
+// child's stderr to a temp file so the parent can assert on the stale-view
+// report's contents (freeze site + mutation site).
+ChildResult runSelfFixture(const char* fixture) {
+    ChildResult result;
+    char exe[4096];
+    const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len <= 0) return result;
+    exe[len] = '\0';
+
+    char logPath[] = "/tmp/grapr_view_check_XXXXXX";
+    const int logFd = ::mkstemp(logPath);
+    if (logFd < 0) return result;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(logFd);
+        ::unlink(logPath);
+        return result;
+    }
+    if (pid == 0) {
+        ::setenv("GRAPR_VIEW_FIXTURE", fixture, 1);
+        ::setenv("OMP_NUM_THREADS", "4", 1);
+        ::dup2(logFd, 2);
+        ::close(logFd);
+        ::execl(exe, exe, static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    ::close(logFd);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        ::unlink(logPath);
+        return result;
+    }
+    result.spawned = true;
+    if (WIFSIGNALED(status)) {
+        result.signalled = true;
+        result.signal = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+        result.exitCode = WEXITSTATUS(status);
+    }
+    std::ifstream log(logPath);
+    std::ostringstream text;
+    text << log.rdbuf();
+    result.output = text.str();
+    ::unlink(logPath);
+    return result;
+}
+
+#endif // GRAPR_CAN_REEXEC && GRAPR_VIEW_CHECK
+
+} // namespace
+
+#ifndef GRAPR_VIEW_CHECK
+
+TEST(ViewCheck, RequiresInstrumentedBuild) {
+    GTEST_SKIP() << "built without GRAPR_VIEW_CHECK; configure with "
+                    "-DGRAPR_VIEW_CHECK=ON to run the view-lifecycle tests";
+}
+
+#else // GRAPR_VIEW_CHECK
+
+TEST(ViewCheck, StaleReadAbortsWithBothSites) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("stale");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_TRUE(child.signalled)
+        << "stale-read fixture ran to completion (exit " << child.exitCode
+        << ") — the view stamp failed to detect use-after-mutate";
+    EXPECT_EQ(child.signal, SIGABRT);
+    // The report must carry both ends of the violation: where the view was
+    // frozen and where the source mutated — both in this file.
+    EXPECT_NE(child.output.find("VIEW-LIFECYCLE VIOLATION"),
+              std::string::npos)
+        << "abort report missing; child stderr was:\n"
+        << child.output;
+    EXPECT_NE(child.output.find("view frozen at"), std::string::npos);
+    EXPECT_NE(child.output.find("source mutated at"), std::string::npos);
+    const std::string site = "test_view_check.cpp";
+    const std::size_t first = child.output.find(site);
+    ASSERT_NE(first, std::string::npos)
+        << "freeze site not attributed to this file; stderr was:\n"
+        << child.output;
+    EXPECT_NE(child.output.find(site, first + site.size()),
+              std::string::npos)
+        << "mutation site not attributed to this file; stderr was:\n"
+        << child.output;
+#endif
+}
+
+TEST(ViewCheck, LegalLifecycleSurvives) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("legal");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_FALSE(child.signalled)
+        << "legal freeze/read/invalidate lifecycle tripped the stamp "
+           "(signal " << child.signal << "); stderr was:\n"
+        << child.output;
+    EXPECT_EQ(child.exitCode, kFixtureSurvived);
+#endif
+}
+
+TEST(ViewCheck, PipelinesSurviveWithCheckOn) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("pipelines");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_FALSE(child.signalled)
+        << "PLP/PLM/PLMR/EPP tripped the view stamp (signal "
+        << child.signal << "); stderr was:\n"
+        << child.output;
+    EXPECT_EQ(child.exitCode, kFixtureSurvived);
+#endif
+}
+
+TEST(ViewCheck, CopySemantics) {
+    // In-process checks of the generation-cell ownership rules: a copied
+    // graph gets a fresh cell, a moved graph keeps its cell (views follow
+    // the data), and views of the copy are independent of the original.
+    grapr::Graph g(16);
+    g.addEdge(0, 1);
+    grapr::Graph copy = g;
+    const grapr::CsrGraph viewOfCopy(copy);
+    g.addEdge(2, 3); // must not invalidate viewOfCopy
+    EXPECT_EQ(viewOfCopy.numberOfEdges(), 1u);
+
+    grapr::Graph moved = std::move(copy);
+    // The view tracks the moved-to graph's cell: reading is still legal
+    // while `moved` is unmutated...
+    EXPECT_EQ(viewOfCopy.degree(0), 1u);
+}
+
+#endif // GRAPR_VIEW_CHECK
+
+int main(int argc, char** argv) {
+    if (const char* fixture = std::getenv("GRAPR_VIEW_FIXTURE")) {
+        return runFixture(fixture);
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

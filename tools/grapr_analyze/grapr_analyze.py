@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""grapr_analyze: AST-grounded contract analyzer for the grapr codebase.
+
+Three checks, driven by the exported compile_commands.json (see checks.py
+for rule details and the sanctioned escape hatches):
+
+  csr-staleness        frozen CsrGraph views read after their source Graph
+                       mutated (intra-procedural, with call summaries for
+                       the coarsening pipeline)
+  index-width          implicit narrowing of count/index/node/edgeweight
+                       into 32-bit or lossy types
+  annotation-liveness  grapr:benign-race / grapr:lint-allow /
+                       grapr:analyze-allow annotations must anchor a real
+                       site; stale or typo'd ones fail
+  suppression-liveness tools/sanitizers/tsan.supp entries must still name
+                       a defined symbol that reaches a parallel region
+
+Frontends (--frontend):
+  clang   libclang via clang.cindex — canonical, used by the CI analyze
+          job (which pins the libclang wheel)
+  micro   bundled lexer/statement extractor — no dependencies, used by
+          ctest in toolchains without libclang
+  auto    clang when importable and loadable, else micro (default)
+
+Usage:
+  grapr_analyze.py [--compile-commands build/compile_commands.json]
+                   [--root src] [--frontend auto|clang|micro]
+                   [--tsan-supp tools/sanitizers/tsan.supp] [files...]
+
+With explicit files, only those files are analyzed and the tsan.supp
+check is skipped (fixture mode). Exit status 1 if any finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import checks                                    # noqa: E402
+import frontend_clang                            # noqa: E402
+from frontend_micro import MicroFrontend, blank  # noqa: E402
+from model import FileModel, build_summary       # noqa: E402
+
+
+def _import_lint():
+    lint_dir = Path(__file__).resolve().parent.parent / "grapr_lint"
+    if not lint_dir.exists():
+        return None
+    sys.path.insert(0, str(lint_dir))
+    try:
+        import grapr_lint
+        return grapr_lint
+    except Exception:
+        return None
+
+
+def collect_files(args: argparse.Namespace) -> list[Path]:
+    if args.files:
+        return [Path(f) for f in args.files]
+    root = Path(args.root).resolve()
+    files: set[Path] = set()
+    if args.compile_commands:
+        cc = Path(args.compile_commands)
+        if cc.exists():
+            for entry in json.loads(cc.read_text()):
+                f = Path(entry["file"])
+                if not f.is_absolute():
+                    f = Path(entry["directory"]) / f
+                f = f.resolve()
+                if root in f.parents or f == root:
+                    files.add(f)
+        else:
+            print(f"grapr-analyze: note: {cc} not found; falling back to "
+                  "a source glob", file=sys.stderr)
+    if not files:
+        files.update(root.rglob("*.cpp"))
+    files.update(root.rglob("*.hpp"))
+    files.update(root.rglob("*.h"))
+    return sorted(files)
+
+
+def pick_frontend(choice: str, compile_commands: Path | None,
+                  src_root: Path):
+    if choice in ("clang", "auto") and frontend_clang.available():
+        try:
+            return frontend_clang.ClangFrontend(compile_commands, src_root)
+        except Exception as e:
+            if choice == "clang":
+                raise
+            print(f"grapr-analyze: note: libclang init failed ({e}); "
+                  "using the micro frontend", file=sys.stderr)
+    if choice == "clang":
+        print("grapr-analyze: error: --frontend=clang requested but "
+              "clang.cindex / libclang is not available", file=sys.stderr)
+        sys.exit(2)
+    return MicroFrontend()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json")
+    parser.add_argument("--root", default="src",
+                        help="source root to analyze (default: src)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "clang", "micro"))
+    parser.add_argument("--tsan-supp", default=None,
+                        help="tsan suppression file to audit (default: "
+                             "tools/sanitizers/tsan.supp next to this "
+                             "script; pass '' to disable)")
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files (fixture mode: skips the "
+                             "tsan.supp audit)")
+    args = parser.parse_args()
+
+    files = collect_files(args)
+    if not files:
+        print("grapr-analyze: no input files", file=sys.stderr)
+        return 2
+
+    cc = Path(args.compile_commands) if args.compile_commands else None
+    src_root = Path(args.root).resolve()
+    frontend = pick_frontend(args.frontend, cc, src_root)
+    micro = MicroFrontend()
+    lint_module = _import_lint()
+
+    models: list[FileModel] = []
+    pairs = []   # (model, blanked, allows)
+    for path in files:
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as e:
+            print(f"grapr-analyze: cannot read {path}: {e}",
+                  file=sys.stderr)
+            return 2
+        try:
+            model = frontend.lower(path, lines)
+        except Exception as e:
+            # A frontend crash must not take the whole gate down with an
+            # unrelated stack trace; degrade to the micro frontend and say
+            # so (the fixtures keep both frontends honest).
+            if frontend.name == "micro":
+                raise
+            print(f"grapr-analyze: note: {frontend.name} frontend failed "
+                  f"on {path} ({e}); re-lowering with micro",
+                  file=sys.stderr)
+            model = micro.lower(path, lines)
+        models.append(model)
+        pairs.append((model, blank(lines), checks.Allows(lines)))
+
+    summary = build_summary(models)
+    findings = []
+    for model, blanked, allows in pairs:
+        findings += checks.check_index_width(model, allows)
+        findings += checks.check_csr_staleness(model, summary, allows)
+        findings += checks.check_annotation_liveness(
+            model, blanked, allows, lint_module)
+    findings += checks.check_unused_allows(
+        [(m, a) for m, _, a in pairs])
+
+    if not args.files:
+        if args.tsan_supp is None:
+            supp = (Path(__file__).resolve().parent.parent
+                    / "sanitizers" / "tsan.supp")
+        elif args.tsan_supp == "":
+            supp = None
+        else:
+            supp = Path(args.tsan_supp)
+        if supp is not None:
+            findings += checks.check_suppression_liveness(supp, models)
+
+    # One statement can surface the same defect through several lowered
+    # facts (a call and its enclosing expression); report each site once.
+    unique: dict[tuple[str, int, str], object] = {}
+    for f in findings:
+        unique.setdefault((str(f.path), f.line, f.check), f)
+    findings = sorted(unique.values(), key=lambda f: (str(f.path), f.line))
+    for f in findings:
+        print(f.render())
+    if not args.quiet:
+        nfn = sum(len(m.functions) for m in models)
+        print(f"grapr-analyze: frontend={frontend.name}, {len(files)} "
+              f"files, {nfn} functions, {len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

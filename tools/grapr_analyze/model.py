@@ -1,0 +1,252 @@
+"""Shared IR and domain knowledge for grapr_analyze.
+
+Both frontends (frontend_clang: libclang AST, frontend_micro: bundled
+lexer/statement parser) lower translation units into this file's small IR;
+the checks in checks.py consume only the IR, so rule behaviour is identical
+whichever frontend produced it.
+
+The domain tables below are the analyzer's ground truth about the grapr
+API: which typedefs are 64-bit, which Graph/CsrGraph/Partition methods
+return them, and which Graph methods mutate the adjacency structure (and
+therefore invalidate frozen CsrGraph views).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Domain tables
+# --------------------------------------------------------------------------
+
+# 64-bit unsigned domain typedefs (support/common.hpp). Narrowing these to a
+# 32-bit (or smaller) integer silently truncates on the paper's target
+# scale (3.3B edges).
+WIDE_TYPES = {"count", "index", "grapr::count", "grapr::index"}
+
+# 32-bit node ids. Narrowing to a *signed* 32-bit (or anything smaller)
+# breaks the `none` sentinel (2^32 - 1) and halves the usable id space.
+NODE_TYPES = {"node", "grapr::node"}
+
+# double edge weights; any integer target truncates, float loses precision.
+EDGEWEIGHT_TYPES = {"edgeweight", "grapr::edgeweight"}
+
+# Integer types with width < 64 bits on LP64 (the only platforms grapr
+# targets). `long`/`std::size_t`/`std::int64_t`/... are 64-bit and fine.
+NARROW_INT_TYPES = {
+    "int", "signed", "signed int", "unsigned", "unsigned int",
+    "short", "short int", "unsigned short", "unsigned short int",
+    "char", "signed char", "unsigned char",
+    "int32_t", "uint32_t", "int16_t", "uint16_t", "int8_t", "uint8_t",
+    "std::int32_t", "std::uint32_t", "std::int16_t", "std::uint16_t",
+    "std::int8_t", "std::uint8_t",
+}
+# Signed-or-smaller subset that cannot hold every `node` value.
+NODE_UNSAFE_TYPES = NARROW_INT_TYPES - {
+    "unsigned", "unsigned int", "uint32_t", "std::uint32_t",
+}
+FLOAT_NARROW_TYPES = {"float"}
+
+# Method name -> domain return type, for receivers we cannot type exactly
+# (the micro frontend) or exactly-typed calls (clang frontend checks the
+# receiver too). These names are unique enough across the codebase that a
+# name-only match does not produce false positives in practice.
+WIDE_RETURN_METHODS = {
+    # Graph / CsrGraph
+    "numberOfNodes": "count",
+    "numberOfEdges": "count",
+    "numberOfSelfLoops": "count",
+    "upperNodeIdBound": "count",
+    "degree": "count",
+    # Partition
+    "numberOfElements": "count",
+    "numberOfSubsets": "count",
+    "compact": "count",
+    # Parallel
+    "prefixSum": "count",
+}
+EDGEWEIGHT_RETURN_METHODS = {
+    "weightedDegree": "edgeweight",
+    "volume": "edgeweight",
+    "totalEdgeWeight": "edgeweight",
+    "weight": "edgeweight",
+    "getIthNeighborWeight": "edgeweight",
+}
+NODE_RETURN_METHODS = {
+    "addNode": "node",
+    "getIthNeighbor": "node",
+    "upperBound": "node",
+    "mergeSubsets": "node",
+}
+
+# Graph methods that mutate the adjacency structure or edge weights: a
+# frozen CsrGraph view of the receiver is stale after any of these. The
+# list mirrors the GRAPR_VIEW_BUMP call sites in graph.cpp — keep both in
+# sync (the must-fail fixtures pin the overlap).
+GRAPH_MUTATORS = {
+    "addNode", "removeNode", "addEdge", "addEdgeChecked", "removeEdge",
+    "increaseWeight", "sortNeighborLists",
+}
+
+# Free/namespace functions known to mutate a Graph& parameter (position ->
+# mutates). Discovered summaries (Summary pass) extend this at run time.
+KNOWN_MUTATING_FUNCTIONS = {
+    "sortAdjacencies": {0},
+}
+
+GRAPH_TYPES = {"Graph", "grapr::Graph"}
+CSR_TYPES = {"CsrGraph", "grapr::CsrGraph"}
+
+
+def normalize_type(spelling: str) -> str:
+    """Collapse a type spelling to a comparable key: strip const/volatile,
+    references, pointers, grapr:: qualification and redundant whitespace."""
+    t = spelling.strip()
+    for kw in ("const ", "volatile ", "constexpr ", "static ", "mutable "):
+        t = t.replace(kw, "")
+    t = t.replace("&", "").replace("*", "").strip()
+    if t.startswith("grapr::"):
+        t = t[len("grapr::"):]
+    return " ".join(t.split())
+
+
+def is_wide(tname: str) -> bool:
+    return normalize_type(tname) in {normalize_type(x) for x in WIDE_TYPES}
+
+
+def is_node(tname: str) -> bool:
+    return normalize_type(tname) in {normalize_type(x) for x in NODE_TYPES}
+
+
+def is_edgeweight(tname: str) -> bool:
+    return normalize_type(tname) in {
+        normalize_type(x) for x in EDGEWEIGHT_TYPES}
+
+
+# --------------------------------------------------------------------------
+# IR
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExprInfo:
+    """What a (sub)expression references: identifiers and method calls.
+    Enough to decide whether a value derives from a 64-bit domain type or
+    from a tracked Graph object — the checks never need full expressions."""
+    idents: set[str] = field(default_factory=set)
+    # (receiver ident or "", method name) for every call in the expression.
+    calls: list[tuple[str, str]] = field(default_factory=list)
+    text: str = ""
+
+    def mentions(self, name: str) -> bool:
+        return name in self.idents
+
+
+@dataclass
+class Stmt:
+    """One lowered statement-level fact. `kind` selects the payload:
+      decl    name/declared_type/value      (value = initializer, may be None)
+      assign  name/op/value                 (op: =, +=, -=, ...)
+      call    recv/method/args/value        (args = top-level ident args)
+      loop    name/declared_type/value      (induction var decl + bound expr)
+      cast    declared_type/style/value     (style: c, functional)
+      use     value                         (bare expression statement)
+    """
+    kind: str
+    line: int
+    name: str = ""
+    declared_type: str = ""
+    op: str = ""
+    recv: str = ""
+    method: str = ""
+    args: list[str] = field(default_factory=list)
+    style: str = ""
+    value: ExprInfo | None = None
+
+
+@dataclass
+class FunctionModel:
+    name: str                 # unqualified
+    qualname: str             # Namespace::Class::name when known
+    start_line: int
+    end_line: int
+    params: list[tuple[str, str]] = field(default_factory=list)  # (type, name)
+    statements: list[Stmt] = field(default_factory=list)
+    # Does the body contain an OpenMP pragma? Feeds the tsan.supp
+    # suppression-liveness rule (a race: suppression must reach a parallel
+    # region to still mean anything).
+    has_omp: bool = False
+
+
+@dataclass
+class FileModel:
+    path: Path
+    functions: list[FunctionModel] = field(default_factory=list)
+    # All function/method qualnames *defined* in this file — feeds the
+    # tsan.supp suppression-liveness resolution.
+    defined_symbols: set[str] = field(default_factory=set)
+    # class/struct names defined in this file (for Class:: suppressions).
+    defined_classes: set[str] = field(default_factory=set)
+    # Raw source lines (1-based access via lines[i-1]) for annotation checks.
+    lines: list[str] = field(default_factory=list)
+    frontend: str = ""        # "clang" or "micro"
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: error: [{self.check}] {self.message}"
+
+
+@dataclass
+class Summary:
+    """Cross-TU call summary: function name -> parameter positions through
+    which a Graph can be mutated, and names that freeze/use CSR views."""
+    mutates: dict[str, set[int]] = field(default_factory=dict)
+
+    def mutating_positions(self, func: str) -> set[int]:
+        positions = set(KNOWN_MUTATING_FUNCTIONS.get(func, set()))
+        positions |= self.mutates.get(func, set())
+        return positions
+
+
+def build_summary(models: list[FileModel]) -> Summary:
+    """Derive the call-summary pass from lowered models: a function mutates
+    its Graph& parameter if its body calls a mutating method on it (directly
+    or through an already-summarized callee). Iterates to a fixed point so
+    chains like runRecursive -> coarsen -> builder are followed."""
+    summary = Summary()
+    changed = True
+    while changed:
+        changed = False
+        for model in models:
+            for fn in model.functions:
+                graph_params = {
+                    name: pos
+                    for pos, (ptype, name) in enumerate(fn.params)
+                    if normalize_type(ptype) in {
+                        normalize_type(g) for g in GRAPH_TYPES}
+                    and "const" not in ptype
+                }
+                if not graph_params:
+                    continue
+                mutated: set[int] = set()
+                for stmt in fn.statements:
+                    if stmt.kind == "call" and stmt.recv in graph_params \
+                            and stmt.method in GRAPH_MUTATORS:
+                        mutated.add(graph_params[stmt.recv])
+                    if stmt.kind == "call":
+                        callee = summary.mutating_positions(stmt.method)
+                        for pos in callee:
+                            if pos < len(stmt.args) \
+                                    and stmt.args[pos] in graph_params:
+                                mutated.add(graph_params[stmt.args[pos]])
+                if mutated - summary.mutates.get(fn.name, set()):
+                    summary.mutates.setdefault(fn.name, set()).update(mutated)
+                    changed = True
+    return summary

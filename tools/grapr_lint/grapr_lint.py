@@ -149,8 +149,19 @@ class FileLint:
         out = []
         i, n = 0, len(text)
         state = "code"
+        # Lines whose newline falls inside an unterminated /* ... */. A
+        # directive whose trailing comment spans a newline continues onto
+        # the next line (comments become one space *before* the
+        # preprocessor finds the directive's terminating newline), so
+        # pragmas() must join across these.
+        open_comment = [False] * len(self.lines)
+        line_no = 0
         while i < n:
             c = text[i]
+            if c == "\n":
+                if state == "block_comment" and line_no < len(open_comment):
+                    open_comment[line_no] = True
+                line_no += 1
             if state == "code":
                 if c == "/" and i + 1 < n and text[i + 1] == "/":
                     state = "line_comment"
@@ -211,6 +222,9 @@ class FileLint:
         # Re-add trailing newline artifacts so indices line up.
         while len(self._code) < len(self.lines):
             self._code.append("")
+        self._open_comment = open_comment
+        while len(self._open_comment) < len(self._code):
+            self._open_comment.append(False)
 
     # -- suppression / annotation lookup ------------------------------------
 
@@ -249,17 +263,29 @@ class FileLint:
     # -- pragma and region discovery ----------------------------------------
 
     def pragmas(self) -> list[Pragma]:
+        # Join each directive's continuation lines FIRST, then decide
+        # whether the joined text is an omp pragma. Classifying on the
+        # first physical line alone misses `#pragma \` + `omp ...`
+        # (false negative: the pragma escapes every rule) and truncates
+        # directives whose trailing /* comment */ spans the newline
+        # (false positive: clauses on the continuation line vanish).
         result = []
         i = 0
-        while i < len(self._code):
+        n = len(self._code)
+        while i < n:
             stripped = self._code[i].strip()
-            if stripped.startswith("#pragma") and " omp" in stripped:
+            if stripped.startswith("#"):
                 text = stripped
                 end = i
-                while text.endswith("\\") and end + 1 < len(self._code):
+                while end + 1 < n and (text.endswith("\\")
+                                       or self._open_comment[end]):
+                    text = text[:-1] if text.endswith("\\") else text
                     end += 1
-                    text = text[:-1] + " " + self._code[end].strip()
-                result.append(Pragma(i + 1, re.sub(r"\s+", " ", text), end + 1))
+                    text = text.rstrip() + " " + self._code[end].strip()
+                text = re.sub(r"\s+", " ", text).strip()
+                text = re.sub(r"^#\s*pragma\b", "#pragma", text)
+                if re.match(r"#pragma omp\b", text):
+                    result.append(Pragma(i + 1, text, end + 1))
                 i = end + 1
                 continue
             i += 1

@@ -1,17 +1,33 @@
 #!/usr/bin/env sh
 # Run clang-tidy (profile: .clang-tidy) over the grapr sources using an
-# exported compile database, and compare the warning count against the
-# committed baseline.
+# exported compile database and gate on warning CONTENT, not count: any
+# warning whose normalized form is absent from the committed baseline
+# (tools/clang_tidy_baseline.txt) fails the run. A count-based gate lets
+# a new warning ride in whenever an old one is fixed in the same change;
+# a content diff does not.
 #
-# Usage: tools/run_clang_tidy.sh [build-dir]
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir]                    gate vs baseline
+#   tools/run_clang_tidy.sh --update-baseline [build-dir]  regenerate it
+#
+# Normalized form: "<repo-relative-path>: warning: <message> [check-id]"
+# with line:column stripped, so edits above a baselined warning do not
+# churn the gate. Lines starting with '#' in the baseline are comments.
+# Regenerate ONLY to shrink the baseline (after fixing warnings) or with
+# a review-visible justification for each new entry.
 #
 # Exit codes:
-#   0  warning count <= baseline
-#   1  warning count grew past the baseline (fix, or bump the baseline
-#      consciously in review)
+#   0  no warnings outside the baseline
+#   1  new warnings (fix them, or consciously regenerate with
+#      --update-baseline and justify the diff in review)
 #   2  setup problem (no clang-tidy, no compile_commands.json)
 set -u
 
+UPDATE=0
+if [ "${1:-}" = "--update-baseline" ]; then
+    UPDATE=1
+    shift
+fi
 BUILD_DIR="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BASELINE_FILE="$ROOT/tools/clang_tidy_baseline.txt"
@@ -28,18 +44,48 @@ if [ ! -f "$ROOT/$BUILD_DIR/compile_commands.json" ]; then
     exit 2
 fi
 
-LOG="$(mktemp)"
-trap 'rm -f "$LOG"' EXIT
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
 
 # Sources only; headers are pulled in via HeaderFilterRegex.
 find "$ROOT/src" -name '*.cpp' | sort | \
-    xargs "$TIDY" -p "$ROOT/$BUILD_DIR" --quiet 2>/dev/null | tee "$LOG"
+    xargs "$TIDY" -p "$ROOT/$BUILD_DIR" --quiet 2>/dev/null | \
+    tee "$WORK/log"
 
-COUNT="$(grep -c 'warning:' "$LOG" || true)"
-BASELINE="$(cat "$BASELINE_FILE" 2>/dev/null || echo 0)"
-echo "clang-tidy: $COUNT warnings (baseline: $BASELINE)"
-if [ "$COUNT" -gt "$BASELINE" ]; then
-    echo "clang-tidy: warning count grew past the baseline" >&2
+sed -n 's/^\(.*\):[0-9][0-9]*:[0-9][0-9]*: warning: /\1: warning: /p' \
+    "$WORK/log" | sed "s|^$ROOT/||" | sort -u > "$WORK/got"
+
+if [ "$UPDATE" -eq 1 ]; then
+    {
+        echo "# clang-tidy baseline: normalized warnings tolerated by"
+        echo "# tools/run_clang_tidy.sh. Regenerate with:"
+        echo "#   tools/run_clang_tidy.sh --update-baseline [build-dir]"
+        echo "# Shrink freely; grow only with per-entry justification."
+        cat "$WORK/got"
+    } > "$BASELINE_FILE"
+    echo "run_clang_tidy: baseline regenerated" \
+         "($(wc -l < "$WORK/got" | tr -d ' ') entries)"
+    exit 0
+fi
+
+grep -v '^#' "$BASELINE_FILE" 2>/dev/null | grep -v '^$' | sort -u \
+    > "$WORK/want" || true
+
+comm -23 "$WORK/got" "$WORK/want" > "$WORK/new"
+comm -13 "$WORK/got" "$WORK/want" > "$WORK/stale"
+
+NEW="$(wc -l < "$WORK/new" | tr -d ' ')"
+STALE="$(wc -l < "$WORK/stale" | tr -d ' ')"
+echo "clang-tidy: $(wc -l < "$WORK/got" | tr -d ' ') warnings," \
+     "$NEW outside the baseline, $STALE baseline entries now stale"
+if [ "$STALE" -gt 0 ]; then
+    echo "run_clang_tidy: note: stale baseline entries (fixed warnings —" \
+         "shrink the baseline with --update-baseline):"
+    sed 's/^/  /' "$WORK/stale"
+fi
+if [ "$NEW" -gt 0 ]; then
+    echo "run_clang_tidy: new warnings not in the baseline:" >&2
+    sed 's/^/  /' "$WORK/new" >&2
     exit 1
 fi
 exit 0
