@@ -1,5 +1,7 @@
 #include "community/plm.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
@@ -8,6 +10,8 @@
 
 #include "coarsening/parallel_coarsening.hpp"
 #include "coarsening/projector.hpp"
+#include "community/community_volumes.hpp"
+#include "community/vertex_following.hpp"
 #include "quality/modularity.hpp"
 #include "support/parallel.hpp"
 #include "support/race_check.hpp"
@@ -123,9 +127,11 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
 
 // ---------------------------------------------------------------------------
 // Tuned kernel for the frozen layout. Same decisions as movePhaseImpl —
-// enforced bit-for-bit by tests/test_csr.cpp — but engineered around this
-// kernel's two actual costs: the random accesses of the per-community
-// accumulation, and the per-candidate Δmod arithmetic.
+// enforced bit-for-bit by tests/test_csr.cpp and tests/test_move_kernels.cpp
+// — but engineered around this kernel's actual costs: the random accesses of
+// the per-community accumulation, the per-candidate Δmod arithmetic, the
+// coherence traffic on the shared volume array, and the sweep's load
+// balance.
 //
 //  * Scoring is division-free: instead of Δ we compare the scaled value
 //    2ω(E)²·Δ = 2ω(E)(ω(u,D\{u}) − ω(u,C\{u})) + γ·vol(u)(vol(C\{u}) − vol(D)),
@@ -140,6 +146,11 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
 //    cache line per add instead of two — and counts in 8-byte integer
 //    cells when the graph is unweighted (counts ARE the exact sums of
 //    1.0-weights, so values are identical).
+//  * The kernel is templated over a Volumes policy (AtomicVolumes /
+//    ShardedVolumes, see community_volumes.hpp) replacing the hard-coded
+//    atomic array, over a sweep schedule (flat guided vs degree-bucketed),
+//    and carries a batch SIMD scoring path plus an optional active-set
+//    frontier — all selected by PlmKernelConfig.
 // ---------------------------------------------------------------------------
 
 /// Fused-cell accumulator over integer counts (unweighted rows).
@@ -216,95 +227,171 @@ private:
     std::uint32_t generation_ = 1;
 };
 
+/// Per-thread state of the tuned kernel: the community-weight accumulator
+/// plus the gather/score lanes of the SIMD path and this thread's slice of
+/// the next frontier. One pool slot per potential thread (ThreadLocalPool).
 template <typename Cells>
-count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
-                          count maxIterations, IterationTracer* tracer) {
+struct MoveScratch {
+    explicit MoveScratch(count universe) : acc(universe) {}
+    Cells acc;
+    std::vector<double> candWeight;
+    std::vector<double> candVolume;
+    std::vector<double> candScore;
+    std::vector<node> frontier;
+};
+
+/// Below this many candidate communities the batch path's gather setup
+/// costs more than it saves; the scalar loop handles short rows.
+constexpr std::size_t kSimdMinCandidates = 8;
+
+/// Below this many work items a bucketed sweep loses: its three
+/// worksharing loops pay two extra barriers per iteration plus the bucket
+/// rebuild, which only the load imbalance of a LARGE skewed sweep repays.
+/// Small levels (and late active-set frontiers) take the flat sweep.
+constexpr std::size_t kBucketedMinWork = std::size_t{1} << 15;
+
+template <typename Cells, typename Volumes>
+count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
+                         count maxIterations, IterationTracer* tracer,
+                         const PlmKernelConfig& kernel) {
     const count bound = g.upperNodeIdBound();
     const double omegaE = g.totalEdgeWeight();
     if (omegaE <= 0.0) return 0;
     const double twoOmega = 2.0 * omegaE;
     const count communityBound = std::max<count>(zeta.upperBound(), bound);
 
-    std::vector<double> communityVolume(communityBound, 0.0);
     std::vector<double> nodeVolume(bound, 0.0);
     g.parallelForNodes([&](node u) { nodeVolume[u] = g.volume(u); });
-    g.forNodes([&](node u) { communityVolume[zeta[u]] += nodeVolume[u]; });
+    std::vector<double> initialVolume(communityBound, 0.0);
+    g.forNodes([&](node u) { initialVolume[zeta[u]] += nodeVolume[u]; });
+    Volumes volumes(std::move(initialVolume));
 
     const index* offsets = g.offsets().data();
     const node* neighbors = g.neighborArray().data();
     const edgeweight* weights =
         g.isWeighted() ? g.weightArray().data() : nullptr;
 
-    std::vector<Cells> scratch;
-    const int maxThreads = omp_get_max_threads();
-    scratch.reserve(maxThreads);
-    for (int t = 0; t < maxThreads; ++t) scratch.emplace_back(communityBound);
+    ThreadLocalPool<MoveScratch<Cells>> scratch(communityBound);
 
-    count totalMoves = 0;
-    for (count iteration = 0; iteration < maxIterations; ++iteration) {
-        GRAPR_RACE_PHASE("plm.moveFrozen");
-        count movedThisRound = 0;
-        const auto n = static_cast<std::int64_t>(bound);
-#pragma omp parallel for default(none)                                       \
-    shared(offsets, neighbors, weights, zeta, scratch, communityVolume,      \
-               nodeVolume, twoOmega, gamma, n)                               \
-    schedule(guided) reduction(+ : movedThisRound)
-        for (std::int64_t su = 0; su < n; ++su) {
-            const node u = static_cast<node>(su);
-            const index lo = offsets[u];
-            const index hi = offsets[u + 1];
-            if (lo == hi) continue; // holes and isolated nodes: empty rows
+#if defined(GRAPR_KERNEL_SIMD)
+    const bool simd = kernel.simdScoring;
+#else
+    const bool simd = false; // build option off: scalar oracle only
+#endif
+    const bool active = kernel.activeNodes;
+    // Bucketing exists to fix multi-thread load imbalance; sequentially it
+    // is pure overhead and would reorder the evaluation sweep, so a
+    // one-thread run always takes the flat in-order path (this is what
+    // keeps every config bit-identical to the reference single-threaded).
+    const bool bucketed =
+        kernel.schedule == PlmSweepSchedule::DegreeBucketed &&
+        omp_get_max_threads() > 1;
 
-            const node current = zeta[u];
-            Cells& acc = scratch[omp_get_thread_num()];
-            acc.clear();
-            const node* zetaData = zeta.vector().data();
-            if (weights) {
-                for (index i = lo; i < hi; ++i) {
-                    if (i + 8 < hi) {
-                        __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
-                    }
-                    const node v = neighbors[i];
-                    if (v != u) acc.add(zetaData[v], weights[i]);
-                }
-            } else {
-                for (index i = lo; i < hi; ++i) {
-                    if (i + 8 < hi) {
-                        __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
-                    }
-                    const node v = neighbors[i];
-                    if (v != u) acc.add(zetaData[v], 1.0);
-                }
+    // The work list: nodes with non-empty rows, ascending (the reference
+    // evaluation order). Under activeNodes it becomes the frontier after
+    // the first iteration.
+    std::vector<node> work;
+    work.reserve(bound);
+    for (node u = 0; u < bound; ++u) {
+        if (offsets[u] != offsets[u + 1]) work.push_back(u);
+    }
+
+    // Deduplication bitmap of the next frontier: a mover raises its
+    // neighbors' flags with a relaxed exchange; whoever wins the exchange
+    // appends the node to its thread's frontier slice.
+    std::vector<std::atomic<std::uint8_t>> pending(active ? bound : 0);
+
+    // The per-node evaluation, hoisted out of the parallel regions so all
+    // three bucket loops (and the flat loop) share one definition. `moved`
+    // binds to the enclosing loop's reduction variable; `sc` and `vols`
+    // are the calling thread's scratch slot and volume view, resolved
+    // once per region (per-node thread-id lookups measurably drag the
+    // sweep).
+    auto processNode = [&](node u, count& moved, MoveScratch<Cells>& sc,
+                           auto& vols) {
+        const index lo = offsets[u];
+        const index hi = offsets[u + 1];
+        const node current = zeta[u];
+        Cells& acc = sc.acc;
+        acc.clear();
+        const node* zetaData = zeta.vector().data();
+        // Split row scan: the main loop prefetches the label lookup a few
+        // entries ahead with no per-iteration bounds branch; the short
+        // tail (and every short row) runs the plain loop.
+        const index pfEnd = hi - lo > 8 ? hi - 8 : lo;
+        if (weights) {
+            index i = lo;
+            for (; i < pfEnd; ++i) {
+                __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
+                const node v = neighbors[i];
+                if (v != u) acc.add(zetaData[v], weights[i]);
             }
-
-            const double volU = nodeVolume[u];
-            const double weightToCurrent = acc.get(current);
-            // grapr:benign-race(communityVolume): stale snapshot tolerated
-            // by design (asynchronous contract, see movePhaseImpl).
-            double volCurrent;
-#pragma omp atomic read
-            volCurrent = communityVolume[current];
-            volCurrent -= volU;
-
-            // score(D) = 2ω·ω(u,D) − γ·vol(u)·vol(D) + base, where base
-            // folds in the (candidate-independent) cost of leaving C.
-            const double gammaVolU = gamma * volU;
-            const double base =
-                gammaVolU * volCurrent - twoOmega * weightToCurrent;
-            node bestCommunity = current;
-            double bestScore = 0.0;
-            for (node candidate : acc.touched()) {
-                __builtin_prefetch(&communityVolume[candidate], 0, 1);
+            for (; i < hi; ++i) {
+                const node v = neighbors[i];
+                if (v != u) acc.add(zetaData[v], weights[i]);
             }
-            for (node candidate : acc.touched()) {
+        } else {
+            index i = lo;
+            for (; i < pfEnd; ++i) {
+                __builtin_prefetch(&zetaData[neighbors[i + 8]], 0, 1);
+                const node v = neighbors[i];
+                if (v != u) acc.add(zetaData[v], 1.0);
+            }
+            for (; i < hi; ++i) {
+                const node v = neighbors[i];
+                if (v != u) acc.add(zetaData[v], 1.0);
+            }
+        }
+
+        const double volU = nodeVolume[u];
+        const double weightToCurrent = acc.get(current);
+        const double volCurrent = vols.read(current) - volU;
+
+        // score(D) = 2ω·ω(u,D) − γ·vol(u)·vol(D) + base, where base folds
+        // in the (candidate-independent) cost of leaving C.
+        const double gammaVolU = gamma * volU;
+        const double base = gammaVolU * volCurrent - twoOmega * weightToCurrent;
+        node bestCommunity = current;
+        double bestScore = 0.0;
+        const std::vector<node>& cands = acc.touched();
+
+        if (simd && cands.size() >= kSimdMinCandidates) {
+            for (const node candidate : cands) vols.prefetch(candidate);
+            // Batch path: gather weights and volume snapshots into dense
+            // lanes (manual 2x unroll hides the volume-read latency), score
+            // every lane branch-free under omp simd, then argmax scalar.
+            // The lane expression is literally the scalar path's expression,
+            // so on integer-weight inputs (where every product is exact in
+            // a double) the two paths pick identical moves.
+            const std::size_t k = cands.size();
+            if (sc.candWeight.size() < k) {
+                sc.candWeight.resize(k);
+                sc.candVolume.resize(k);
+                sc.candScore.resize(k);
+            }
+            double* cw = sc.candWeight.data();
+            double* cv = sc.candVolume.data();
+            double* cs = sc.candScore.data();
+            const node* cand = cands.data();
+            std::size_t i = 0;
+            for (; i + 1 < k; i += 2) {
+                cw[i] = acc.get(cand[i]);
+                cv[i] = vols.read(cand[i]);
+                cw[i + 1] = acc.get(cand[i + 1]);
+                cv[i + 1] = vols.read(cand[i + 1]);
+            }
+            for (; i < k; ++i) {
+                cw[i] = acc.get(cand[i]);
+                cv[i] = vols.read(cand[i]);
+            }
+#pragma omp simd
+            for (std::size_t j = 0; j < k; ++j) {
+                cs[j] = twoOmega * cw[j] - gammaVolU * cv[j] + base;
+            }
+            for (std::size_t j = 0; j < k; ++j) {
+                const node candidate = cand[j];
                 if (candidate == current) continue;
-                // grapr:benign-race(communityVolume): stale candidate
-                // volume tolerated by design (same contract as above).
-                double volCandidate;
-#pragma omp atomic read
-                volCandidate = communityVolume[candidate];
-                const double score = twoOmega * acc.get(candidate) -
-                                     gammaVolU * volCandidate + base;
+                const double score = cs[j];
                 // Lowest-id tie break, exactly as movePhaseImpl.
                 if (score > bestScore ||
                     (score == bestScore && candidate < bestCommunity)) {
@@ -312,47 +399,175 @@ count movePhaseFrozenImpl(const CsrGraph& g, Partition& zeta, double gamma,
                     bestCommunity = candidate;
                 }
             }
-
-            if (bestCommunity != current && bestScore > 0.0) {
-#pragma omp atomic
-                communityVolume[current] -= volU;
-#pragma omp atomic
-                communityVolume[bestCommunity] += volU;
-                // grapr:benign-race(zeta): non-atomic label publish; stale
-                // reads tolerated, one writer per node per round (see
-                // movePhaseImpl).
-                zeta.set(u, bestCommunity);
-                ++movedThisRound;
+        } else {
+            for (const node candidate : cands) {
+                if (candidate == current) continue;
+                const double score = twoOmega * acc.get(candidate) -
+                                     gammaVolU * vols.read(candidate) + base;
+                // Lowest-id tie break, exactly as movePhaseImpl.
+                if (score > bestScore ||
+                    (score == bestScore && candidate < bestCommunity)) {
+                    bestScore = score;
+                    bestCommunity = candidate;
+                }
             }
         }
+
+        if (bestCommunity != current && bestScore > 0.0) {
+            vols.apply(current, -volU);
+            vols.apply(bestCommunity, volU);
+            // grapr:benign-race(zeta): non-atomic label publish; stale
+            // reads tolerated, one writer per node per round (see
+            // movePhaseImpl).
+            zeta.set(u, bestCommunity);
+            ++moved;
+            if (active) {
+                // u's move changes every neighbor's Δmod landscape: seed
+                // them into the next frontier (first flag-raiser appends).
+                for (index i = lo; i < hi; ++i) {
+                    const node v = neighbors[i];
+                    if (v == u) continue;
+                    if (pending[v].load(std::memory_order_relaxed) == 0 &&
+                        pending[v].exchange(1, std::memory_order_relaxed) ==
+                            0) {
+                        sc.frontier.push_back(v);
+                    }
+                }
+            }
+        }
+        // Per-node boundary: the sharded policy flushes its write buffer
+        // here once the staleness budget is spent (no-op for atomic).
+        vols.completeNode();
+    };
+
+    std::vector<node> lowBucket;
+    std::vector<node> midBucket;
+    std::vector<node> hubBucket;
+
+    count totalMoves = 0;
+    for (count iteration = 0;
+         iteration < maxIterations && !work.empty(); ++iteration) {
+        GRAPR_RACE_PHASE("plm.moveTuned");
+        count movedThisRound = 0;
+        if (bucketed && work.size() >= kBucketedMinWork) {
+            // Split the sweep by row shape: short uniform rows get cheap
+            // static chunks, the middle keeps the paper's guided schedule,
+            // and hubs go through dynamic work-stealing one row at a time
+            // so a million-entry row cannot serialize the iteration tail.
+            lowBucket.clear();
+            midBucket.clear();
+            hubBucket.clear();
+            for (const node u : work) {
+                const count deg =
+                    static_cast<count>(offsets[u + 1] - offsets[u]);
+                if (deg < kernel.lowDegreeMax) {
+                    lowBucket.push_back(u);
+                } else if (deg >= kernel.hubDegreeMin) {
+                    hubBucket.push_back(u);
+                } else {
+                    midBucket.push_back(u);
+                }
+            }
+            const auto nLow = static_cast<std::int64_t>(lowBucket.size());
+            const auto nMid = static_cast<std::int64_t>(midBucket.size());
+            const auto nHub = static_cast<std::int64_t>(hubBucket.size());
+            // One region, three worksharing loops (implicit barrier after
+            // each keeps the bucket phases ordered without paying three
+            // fork/joins); scratch slot and volume view resolve once per
+            // thread.
+#pragma omp parallel default(none)                                           \
+    shared(processNode, scratch, volumes, lowBucket, midBucket, hubBucket,   \
+               nLow, nMid, nHub) reduction(+ : movedThisRound)
+            {
+                MoveScratch<Cells>& sc = scratch.local();
+                auto vols = volumes.view();
+#pragma omp for schedule(static)
+                for (std::int64_t i = 0; i < nLow; ++i) {
+                    processNode(lowBucket[i], movedThisRound, sc, vols);
+                }
+#pragma omp for schedule(guided)
+                for (std::int64_t i = 0; i < nMid; ++i) {
+                    processNode(midBucket[i], movedThisRound, sc, vols);
+                }
+#pragma omp for schedule(dynamic, 1)
+                for (std::int64_t i = 0; i < nHub; ++i) {
+                    processNode(hubBucket[i], movedThisRound, sc, vols);
+                }
+            }
+        } else {
+            const auto n = static_cast<std::int64_t>(work.size());
+#pragma omp parallel default(none)                                           \
+    shared(processNode, scratch, volumes, work, n)                           \
+        reduction(+ : movedThisRound)
+            {
+                MoveScratch<Cells>& sc = scratch.local();
+                auto vols = volumes.view();
+#pragma omp for schedule(guided)
+                for (std::int64_t i = 0; i < n; ++i) {
+                    processNode(work[i], movedThisRound, sc, vols);
+                }
+            }
+        }
+        // Serial iteration boundary: fold the volume shards (no-op for the
+        // atomic policy) so the next sweep reads fresh totals.
+        volumes.endIteration();
+
         totalMoves += movedThisRound;
         if (tracer) {
-            tracer->record(iteration + 1, g.numberOfNodes(), movedThisRound);
+            tracer->record(iteration + 1,
+                           active ? static_cast<count>(work.size())
+                                  : g.numberOfNodes(),
+                           movedThisRound);
         }
         if (movedThisRound == 0) break;
+
+        if (active) {
+            // Next sweep = the frontier: concatenate the per-thread slices,
+            // sort for a deterministic evaluation order, drop the flags.
+            work.clear();
+            for (std::size_t t = 0; t < scratch.size(); ++t) {
+                std::vector<node>& slice = scratch.slot(t).frontier;
+                work.insert(work.end(), slice.begin(), slice.end());
+                slice.clear();
+            }
+            std::sort(work.begin(), work.end());
+            for (const node v : work) {
+                pending[v].store(0, std::memory_order_relaxed);
+            }
+        }
     }
     return totalMoves;
 }
 
-count movePhaseFrozen(const CsrGraph& g, Partition& zeta, double gamma,
-                      count maxIterations, IterationTracer* tracer) {
-    return g.isWeighted()
-               ? movePhaseFrozenImpl<FrozenWeightCells>(g, zeta, gamma,
-                                                        maxIterations, tracer)
-               : movePhaseFrozenImpl<FrozenCountCells>(g, zeta, gamma,
-                                                       maxIterations, tracer);
+count movePhaseTuned(const CsrGraph& g, Partition& zeta, double gamma,
+                     count maxIterations, IterationTracer* tracer,
+                     const PlmKernelConfig& kernel) {
+    const bool sharded = kernel.volumePolicy == PlmVolumePolicy::Sharded;
+    if (g.isWeighted()) {
+        return sharded ? movePhaseTunedImpl<FrozenWeightCells, ShardedVolumes>(
+                             g, zeta, gamma, maxIterations, tracer, kernel)
+                       : movePhaseTunedImpl<FrozenWeightCells, AtomicVolumes>(
+                             g, zeta, gamma, maxIterations, tracer, kernel);
+    }
+    return sharded ? movePhaseTunedImpl<FrozenCountCells, ShardedVolumes>(
+                         g, zeta, gamma, maxIterations, tracer, kernel)
+                   : movePhaseTunedImpl<FrozenCountCells, AtomicVolumes>(
+                         g, zeta, gamma, maxIterations, tracer, kernel);
 }
 
 /// Layout dispatch for the Recompute strategy: the mutable layout runs the
-/// reference kernel, the frozen layout the tuned one (identical decisions).
+/// reference kernel (the kernel config is a frozen-path concept), the
+/// frozen layout the tuned one (identical decisions).
 count moveNodes(const Graph& g, Partition& zeta, double gamma,
-                count maxIterations, IterationTracer* tracer) {
+                count maxIterations, IterationTracer* tracer,
+                const PlmKernelConfig& /*kernel*/) {
     return movePhaseImpl(g, zeta, gamma, maxIterations, tracer);
 }
 
 count moveNodes(const CsrGraph& g, Partition& zeta, double gamma,
-                count maxIterations, IterationTracer* tracer) {
-    return movePhaseFrozen(g, zeta, gamma, maxIterations, tracer);
+                count maxIterations, IterationTracer* tracer,
+                const PlmKernelConfig& kernel) {
+    return movePhaseTuned(g, zeta, gamma, maxIterations, tracer, kernel);
 }
 
 template <typename GraphT>
@@ -473,7 +688,19 @@ count Plm::movePhase(const Graph& g, Partition& zeta, double gamma,
 
 count Plm::movePhase(const CsrGraph& g, Partition& zeta, double gamma,
                      count maxIterations, IterationTracer* tracer) {
-    return movePhaseFrozen(g, zeta, gamma, maxIterations, tracer);
+    return movePhaseTuned(g, zeta, gamma, maxIterations, tracer,
+                          PlmKernelConfig{});
+}
+
+count Plm::movePhase(const CsrGraph& g, Partition& zeta, double gamma,
+                     count maxIterations, IterationTracer* tracer,
+                     const PlmKernelConfig& kernel) {
+    return movePhaseTuned(g, zeta, gamma, maxIterations, tracer, kernel);
+}
+
+count Plm::movePhaseReference(const CsrGraph& g, Partition& zeta, double gamma,
+                              count maxIterations, IterationTracer* tracer) {
+    return movePhaseImpl(g, zeta, gamma, maxIterations, tracer);
 }
 
 count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,
@@ -501,7 +728,7 @@ Partition Plm::runRecursive(const GraphT& g, count level) {
             ? movePhaseCachedMapsImpl(g, zeta, config_.gamma,
                                       config_.maxMoveIterations)
             : moveNodes(g, zeta, config_.gamma, config_.maxMoveIterations,
-                        tracer_ ? &moveTracer : nullptr);
+                        tracer_ ? &moveTracer : nullptr, config_.kernel);
     info.moveIterations = moveTracer.records().size();
     info.totalMoves = moves;
     levels_.push_back(info);
@@ -541,18 +768,51 @@ Partition Plm::runRecursive(const GraphT& g, count level) {
                                     config_.maxMoveIterations);
         } else {
             moveNodes(g, zeta, config_.gamma, config_.maxMoveIterations,
-                      nullptr);
+                      nullptr, config_.kernel);
         }
     }
     return zeta;
 }
 
+Partition Plm::detectFrozen(const CsrGraph& g) {
+    if (config_.vertexFollowing) {
+        // Collapse degree-1 chains/pendants onto their anchors, detect on
+        // the reduced graph, and prolong the labels back — every follower
+        // lands exactly in its anchor's community by construction.
+        const VertexFollowingReduction reduction = VertexFollowing::reduce(g);
+        if (reduction.collapsed > 0) {
+            const Partition reducedSolution =
+                runRecursive(reduction.reduced, 0);
+            Partition zeta = ClusteringProjector::projectBack(
+                reducedSolution, reduction.fineToCoarse);
+            // The reduction is one more coarsening level, so prolongation
+            // gets the same treatment as every other level boundary: one
+            // refinement sweep on the full graph. It starts from the
+            // near-converged prolonged labels (few iterations to settle)
+            // and is what keeps the VF path's quality no worse than the
+            // uncollapsed run — the property the VF tests pin.
+            zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
+            if (config_.strategy == PlmWeightStrategy::CachedMaps) {
+                movePhaseCachedMapsImpl(g, zeta, config_.gamma,
+                                        config_.maxMoveIterations);
+            } else {
+                moveNodes(g, zeta, config_.gamma, config_.maxMoveIterations,
+                          nullptr, config_.kernel);
+            }
+            return zeta;
+        }
+    }
+    return runRecursive(g, 0);
+}
+
 Partition Plm::run(const Graph& g) {
     levels_.clear();
     Partition zeta;
-    if (config_.freeze) {
+    if (config_.freeze || config_.vertexFollowing) {
+        // Vertex following operates on (and produces) the frozen layout,
+        // so enabling it implies the frozen path.
         const CsrGraph frozen(g);
-        zeta = runRecursive(frozen, 0);
+        zeta = detectFrozen(frozen);
     } else {
         zeta = runRecursive(g, 0);
     }
@@ -563,7 +823,7 @@ Partition Plm::run(const Graph& g) {
 
 Partition Plm::runFrozen(const CsrGraph& g) {
     levels_.clear();
-    Partition zeta = runRecursive(g, 0);
+    Partition zeta = detectFrozen(g);
     zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
     zeta.compact();
     return zeta;
@@ -576,6 +836,13 @@ std::string Plm::toString() const {
     }
     if (!config_.parallelCoarsening) name += "+seqcoarse";
     if (!config_.freeze) name += "+nofreeze";
+    if (config_.vertexFollowing) name += "+vf";
+    if (config_.kernel.volumePolicy == PlmVolumePolicy::Sharded) {
+        name += "+shardedvol";
+    }
+    if (config_.kernel.schedule == PlmSweepSchedule::Flat) name += "+flat";
+    if (config_.kernel.simdScoring) name += "+simd";
+    if (config_.kernel.activeNodes) name += "+active";
     return name;
 }
 

@@ -41,6 +41,70 @@ enum class PlmWeightStrategy {
     CachedMaps,
 };
 
+/// How the move phase maintains the shared per-community volumes (see
+/// community/community_volumes.hpp for the two policies).
+enum class PlmVolumePolicy {
+    /// One shared array under `omp atomic` updates and atomic-read
+    /// snapshots — the PR-1 reference scheme and the default; cache lines
+    /// of hot communities ping-pong between cores on every move.
+    Atomic,
+    /// Per-thread write-combining shards with bounded staleness: moves
+    /// buffer their volume deltas thread-locally and flush them into the
+    /// shared array with batched atomic adds every few evaluated nodes
+    /// (community_volumes.hpp documents the staleness bound and why it
+    /// must stay small). Coalescing repeated hot-community deltas into one
+    /// RMW is an opt-in for contention-heavy many-core runs; on low
+    /// contention the buffering is measurable pure overhead, which is why
+    /// Atomic stays the default.
+    Sharded,
+};
+
+/// How the tuned kernel schedules the node sweep.
+enum class PlmSweepSchedule {
+    /// One guided-schedule loop over all work items (the PR-1 scheme).
+    Flat,
+    /// Partition the work items into low-degree / mid / hub buckets and
+    /// run each with the schedule that fits its row shape: static chunks
+    /// for the uniform short rows, guided for the middle, dynamic
+    /// work-stealing for the hubs so one thread stuck on a million-entry
+    /// row cannot serialize the iteration. With a single thread this
+    /// degenerates to the flat in-order sweep (bucketing exists to fix
+    /// multi-thread load imbalance; sequentially it is pure overhead and
+    /// would change the evaluation order the determinism tests pin).
+    DegreeBucketed,
+};
+
+/// Tuning knobs of the frozen-layout move kernel. The defaults are the
+/// measured fast path (bench/micro_plm_kernels.cpp is the evidence trail);
+/// every combination is bit-identical to the reference kernel in
+/// single-threaded runs EXCEPT activeNodes (see its comment).
+struct PlmKernelConfig {
+    PlmVolumePolicy volumePolicy = PlmVolumePolicy::Atomic;
+    PlmSweepSchedule schedule = PlmSweepSchedule::DegreeBucketed;
+    /// Vectorized (omp simd) batch Δmod scoring over gathered candidate
+    /// arrays; the scalar path is the reference oracle and both compute
+    /// the exact same FP expressions lane for lane. Forced off when the
+    /// build disabled GRAPR_KERNEL_SIMD. Off by default: the gather setup
+    /// only amortizes on long candidate lists, and on the benched hosts
+    /// the scalar argmax wins even on hub rows — flip it on per run when
+    /// the target machine's vector units say otherwise.
+    bool simdScoring = false;
+    /// Frontier-driven sweeps: after the first full iteration only nodes
+    /// whose neighborhood changed (a neighbor moved, deduplicated through
+    /// an atomic seen-bitmap) are re-evaluated, instead of rescanning all
+    /// n nodes per iteration. This is a *semantic* option, not a pure
+    /// scheduling one: a node can profit from a volume change in a
+    /// community it merely neighbors, which a frontier sweep only
+    /// discovers one iteration later (or not at all if the frontier
+    /// empties first), so results are near-identical in quality but not
+    /// bit-identical. Off by default; the tuned bench config enables it.
+    bool activeNodes = false;
+    /// Bucket thresholds: degree < lowDegreeMax → static bucket,
+    /// degree >= hubDegreeMin → dynamic hub bucket, guided in between.
+    count lowDegreeMax = 32;
+    count hubDegreeMin = 256;
+};
+
 struct PlmConfig {
     /// Resolution parameter γ ∈ [0, 2m]: 1 = standard modularity, smaller
     /// coarser, larger finer (§III-B).
@@ -60,6 +124,18 @@ struct PlmConfig {
     /// mutable adjacency lists (the layout ablation; results are
     /// bit-identical single-threaded, see tests/test_csr.cpp).
     bool freeze = true;
+    /// Collapse degree-1 chains/pendants onto their anchors before the
+    /// first level and project the labels back afterwards (vertex
+    /// following, Lu & Halappanavar): a pendant's modularity-optimal
+    /// community is its anchor's, so the sweep never needs to evaluate
+    /// it. Changes results only on the collapsed nodes (they land exactly
+    /// where the anchor lands); opt-in because the default config is the
+    /// bit-reproducibility anchor of the test harness. Implies the frozen
+    /// path (the reduction operates on and produces a CsrGraph).
+    bool vertexFollowing = false;
+    /// Frozen-layout move-kernel tuning (volume policy, sweep schedule,
+    /// SIMD scoring, active-set frontier). Ignored on the thawed path.
+    PlmKernelConfig kernel = {};
 };
 
 /// Per-level record of a PLM run, for scaling analyses and tests.
@@ -95,9 +171,22 @@ public:
     /// independent of neighbor order.
     static count movePhase(const Graph& g, Partition& zeta, double gamma,
                            count maxIterations, IterationTracer* tracer);
-    /// CSR overload — same kernel over the frozen layout.
+    /// CSR overload — the tuned kernel over the frozen layout with the
+    /// default PlmKernelConfig.
     static count movePhase(const CsrGraph& g, Partition& zeta, double gamma,
                            count maxIterations, IterationTracer* tracer);
+    /// CSR overload with explicit kernel tuning (volume policy, sweep
+    /// schedule, SIMD scoring, active-set frontier) — the entry point of
+    /// the kernel ablation bench and the bit-identity property tests.
+    static count movePhase(const CsrGraph& g, Partition& zeta, double gamma,
+                           count maxIterations, IterationTracer* tracer,
+                           const PlmKernelConfig& kernel);
+    /// The untuned generic reference kernel on the frozen layout — the
+    /// oracle every tuned variant is pinned against bit for bit
+    /// (tests/test_move_kernels.cpp). Not a fast path.
+    static count movePhaseReference(const CsrGraph& g, Partition& zeta,
+                                    double gamma, count maxIterations,
+                                    IterationTracer* tracer);
 
     /// The abandoned first implementation (per-node cached maps + locks),
     /// same contract as movePhase. Exposed for the strategy ablation.
@@ -118,6 +207,10 @@ private:
     /// built CSR-to-CSR — or Graph when freezing is disabled).
     template <typename GraphT>
     Partition runRecursive(const GraphT& g, count level);
+
+    /// Frozen-path entry: applies the vertex-following reduction when
+    /// configured, then starts the recursion.
+    Partition detectFrozen(const CsrGraph& g);
 };
 
 } // namespace grapr

@@ -1,7 +1,9 @@
 #include "community/plp.hpp"
 
+#include <algorithm>
 #include <atomic>
 
+#include "community/vertex_following.hpp"
 #include "graph/graph_tools.hpp"
 #include "support/parallel.hpp"
 #include "support/race_check.hpp"
@@ -10,14 +12,28 @@
 namespace grapr {
 
 Partition Plp::run(const Graph& g) {
-    if (config_.freeze) {
+    if (config_.freeze || config_.vertexFollowing) {
+        // Vertex following operates on the frozen layout, so enabling it
+        // implies the frozen path.
         const CsrGraph frozen(g);
-        return runImpl(frozen);
+        return runFrozen(frozen);
     }
     return runImpl(g);
 }
 
-Partition Plp::runFrozen(const CsrGraph& g) { return runImpl(g); }
+Partition Plp::runFrozen(const CsrGraph& g) {
+    if (config_.vertexFollowing) {
+        const VertexFollowingReduction reduction = VertexFollowing::reduce(g);
+        if (reduction.collapsed > 0) {
+            const Partition reducedSolution = runImpl(reduction.reduced);
+            Partition zeta =
+                VertexFollowing::projectBack(reducedSolution, reduction);
+            zeta.setUpperBound(static_cast<node>(g.upperNodeIdBound()));
+            return zeta;
+        }
+    }
+    return runImpl(g);
+}
 
 template <typename GraphT>
 Partition Plp::runImpl(const GraphT& g) {
@@ -44,6 +60,14 @@ Partition Plp::runImpl(const GraphT& g) {
         config_.thetaFraction * static_cast<double>(g.numberOfNodes());
 
     ScratchPool scratch(bound);
+
+    // Frontier mode: `order` doubles as the worklist — after each
+    // iteration it is rebuilt from the per-thread slices of nodes whose
+    // neighborhood changed. `pending` deduplicates insertions (a relaxed
+    // test-and-set; the winning thread appends to its slice).
+    const bool frontier = config_.frontierSweep;
+    std::vector<std::atomic<std::uint8_t>> pending(frontier ? bound : 0);
+    ThreadLocalPool<std::vector<node>> frontierSlices;
 
     // Weighted dominant-label selection for one node: the label maximizing
     // the incident weight, ties broken uniformly at random by reservoir
@@ -83,17 +107,21 @@ Partition Plp::runImpl(const GraphT& g) {
     iterations_ = 0;
     count updated = g.numberOfNodes();
     while (static_cast<double>(updated) > theta &&
-           iterations_ < config_.maxIterations) {
+           iterations_ < config_.maxIterations && !order.empty()) {
         count activeCount = 0;
         if (tracer_) {
-            for (node v = 0; v < bound; ++v) activeCount += active[v];
+            if (frontier) {
+                activeCount = static_cast<count>(order.size());
+            } else {
+                for (node v = 0; v < bound; ++v) activeCount += active[v];
+            }
         }
 
         count updatedThisRound = 0;
 
         auto processNode = [&](node v, count& localUpdated) {
             if (g.degree(v) == 0) return;
-            if (config_.trackActiveNodes) {
+            if (!frontier && config_.trackActiveNodes) {
                 if (!active[v]) return;
                 active[v] = 0;
             }
@@ -107,7 +135,17 @@ Partition Plp::runImpl(const GraphT& g) {
                 GRAPR_RACE_WRITE(zeta.raceShadow(), v);
                 label[v] = best;
                 ++localUpdated;
-                if (config_.trackActiveNodes) {
+                if (frontier) {
+                    std::vector<node>& slice = frontierSlices.local();
+                    g.forNeighborsOf(v, [&](node u, edgeweight) {
+                        if (u == v) return;
+                        if (pending[u].load(std::memory_order_relaxed) == 0 &&
+                            pending[u].exchange(
+                                1, std::memory_order_relaxed) == 0) {
+                            slice.push_back(u);
+                        }
+                    });
+                } else if (config_.trackActiveNodes) {
                     g.forNeighborsOf(v, [&](node u, edgeweight) {
                         active[u] = 1;
                     });
@@ -115,7 +153,7 @@ Partition Plp::runImpl(const GraphT& g) {
             }
         };
 
-        if (config_.explicitRandomization && iterations_ > 0) {
+        if (config_.explicitRandomization && iterations_ > 0 && !frontier) {
             Random::shuffle(order.begin(), order.end());
         }
         GRAPR_RACE_PHASE("plp.round");
@@ -139,6 +177,25 @@ Partition Plp::runImpl(const GraphT& g) {
         updated = updatedThisRound;
         ++iterations_;
         if (tracer_) tracer_->record(iterations_, activeCount, updated);
+
+        if (frontier) {
+            // Rebuild the worklist: concatenate the per-thread slices,
+            // sort (a canonical order independent of thread interleaving),
+            // drop the dedup flags, then reshuffle — the frontier replaces
+            // the full sweep, so it needs the same traversal decorrelation
+            // the upfront shuffle gave `order`.
+            order.clear();
+            for (std::size_t t = 0; t < frontierSlices.size(); ++t) {
+                std::vector<node>& slice = frontierSlices.slot(t);
+                order.insert(order.end(), slice.begin(), slice.end());
+                slice.clear();
+            }
+            std::sort(order.begin(), order.end());
+            for (const node v : order) {
+                pending[v].store(0, std::memory_order_relaxed);
+            }
+            Random::shuffle(order.begin(), order.end());
+        }
     }
 
     zeta.setUpperBound(static_cast<node>(bound));
@@ -151,6 +208,8 @@ std::string Plp::toString() const {
     if (config_.explicitRandomization) name += "+rand";
     if (!config_.guidedSchedule) name += "+static";
     if (!config_.trackActiveNodes) name += "+noactivity";
+    if (config_.frontierSweep) name += "+frontier";
+    if (config_.vertexFollowing) name += "+vf";
     if (!config_.freeze) name += "+nofreeze";
     return name;
 }

@@ -127,20 +127,56 @@ private:
     std::uint32_t generation_ = 1;
 };
 
-/// Pool of per-thread SparseAccumulators sized to one key universe.
-class ScratchPool {
+/// Pool of per-thread scratch objects, one slot per thread OpenMP could
+/// deliver to the next parallel region.
+///
+/// This is the single sanctioned idiom for per-thread kernel scratch —
+/// it replaces both of the historical spellings (a bespoke ScratchPool
+/// and hand-rolled `scratch[omp_get_thread_num()]` vectors), which made
+/// the team-size assumptions implicit. The pool is sized at construction
+/// to `omp_get_max_threads()`; OpenMP is free to deliver a *smaller* team
+/// (num_threads is only a request), which is always safe here because
+/// thread numbers of a team are dense in [0, teamSize). The converse —
+/// the thread count being raised after construction, or `local()` being
+/// called from a nested region with a larger cumulative team — would
+/// index out of bounds, so `local()` bounds-checks and fails loudly
+/// instead of corrupting memory.
+///
+/// Constructor arguments are forwarded to every slot's constructor.
+template <typename T>
+class ThreadLocalPool {
 public:
-    explicit ScratchPool(index keyUniverse) {
-        scratch_.resize(static_cast<std::size_t>(omp_get_max_threads()));
-        for (auto& s : scratch_) s.resize(keyUniverse);
+    template <typename... Args>
+    explicit ThreadLocalPool(const Args&... args) {
+        const auto slots = static_cast<std::size_t>(omp_get_max_threads());
+        slots_.reserve(slots);
+        for (std::size_t t = 0; t < slots; ++t) slots_.emplace_back(args...);
     }
 
-    SparseAccumulator& local() {
-        return scratch_[static_cast<std::size_t>(omp_get_thread_num())];
+    /// The calling thread's slot. Valid from inside a parallel region or
+    /// serial code (thread 0); aborts if the team outgrew the pool.
+    T& local() {
+        const auto t = static_cast<std::size_t>(omp_get_thread_num());
+        require(t < slots_.size(),
+                "ThreadLocalPool: thread id outside the pool — the OpenMP "
+                "thread count was raised after construction (construct the "
+                "pool after Parallel::setThreads)");
+        return slots_[t];
     }
+
+    /// Number of slots (the max team size the pool was built for).
+    std::size_t size() const noexcept { return slots_.size(); }
+
+    /// Slot access for sequential reductions over all potential threads
+    /// (slots of threads that never ran are default/ctor-arg state).
+    T& slot(std::size_t t) { return slots_[t]; }
+    const T& slot(std::size_t t) const { return slots_[t]; }
 
 private:
-    std::vector<SparseAccumulator> scratch_;
+    std::vector<T> slots_;
 };
+
+/// Pool of per-thread SparseAccumulators sized to one key universe.
+using ScratchPool = ThreadLocalPool<SparseAccumulator>;
 
 } // namespace grapr

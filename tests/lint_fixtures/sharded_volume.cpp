@@ -1,0 +1,54 @@
+// Lint fixture for the sharded community-volume write path (PR 6). The
+// `grapr_lint_sharded` ctest invokes the linter on this file and expects a
+// NONZERO exit (WILL_FAIL) — if the lint ever "passes" this file, a rule
+// that guards the replicate+reduce kernel regressed. Never compiled.
+//
+// Seeded violations, in order:
+//   1. compound-shared-write   folding the shards INSIDE the parallel
+//                              region: `base[c] += delta` on the shared
+//                              base array, no atomic, no annotation — the
+//                              exact lost-update the fold-after-join design
+//                              of ShardedVolumes exists to rule out
+//   2. benign-race             an atomic-read volume snapshot without the
+//                              required stale-read annotation
+//   3. container-mutation      pushing into a shards vector that is NOT
+//                              accessed through a per-thread slot (neither
+//                              `.local()` nor `[omp_get_thread_num()]`)
+
+#include <cstdint>
+#include <vector>
+
+void fixtureFoldInsideRegion(std::vector<double>& base,
+                             const std::vector<double>& delta) {
+    const std::int64_t n = static_cast<std::int64_t>(base.size());
+#pragma omp parallel for default(none) shared(base, delta, n)
+    for (std::int64_t c = 0; c < n; ++c) {
+        // (1) the reducer belongs after the join; inside the region this
+        // is a classic lost update on the shared base array
+        base[c] += delta[static_cast<std::size_t>(c)];
+    }
+}
+
+void fixtureUnannotatedSnapshot(std::vector<double>& volumes, double& out) {
+#pragma omp parallel for default(none) shared(volumes, out)
+    for (std::int64_t c = 0; c < 8; ++c) {
+        // (2) stale snapshot of a concurrently-updated volume, but the
+        // grapr:benign-race(<var>) annotation is missing
+        double v;
+#pragma omp atomic read
+        v = volumes[static_cast<std::size_t>(c)];
+        if (v > 0.0) {
+#pragma omp atomic
+            out += v;
+        }
+    }
+}
+
+void fixtureSharedShardPush(std::vector<std::vector<int>>& shards) {
+#pragma omp parallel for default(none) shared(shards)
+    for (std::int64_t c = 0; c < 64; ++c) {
+        // (3) all threads append into shard 0 — the receiver is not a
+        // per-thread slot, so this is a concurrent container mutation
+        shards[0].push_back(static_cast<int>(c));
+    }
+}

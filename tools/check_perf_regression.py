@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh micro_plm_kernels run against the
+committed BENCH_plm.json.
+
+The committed file records the tuned-vs-baseline move-phase speedup per
+instance; a fresh --quick run measures the shared anchor instance
+(rmat_s13) on whatever machine CI happens to give us. Absolute times are
+not comparable across machines, but the SPEEDUP is a within-run ratio of
+two interleaved measurements on the same box, so it transfers: if the
+tuned kernel's ratio collapses relative to the committed record, a perf
+regression (or a broken variant wiring) slipped in.
+
+Exit 0 when every shared instance's fresh speedup is within --tolerance
+(default 15%) of the committed one, 1 otherwise.  Usage:
+
+    micro_plm_kernels --quick            # writes ./BENCH_plm.json
+    python3 tools/check_perf_regression.py \
+        --committed BENCH_plm.json --fresh build/bench/BENCH_plm.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_speedups(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {
+        inst["name"]: inst["speedup_tuned_vs_baseline"]
+        for inst in data.get("instances", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail if the tuned move-phase speedup regressed "
+        "relative to the committed BENCH_plm.json."
+    )
+    parser.add_argument("--committed", required=True,
+                        help="BENCH_plm.json committed in the repository")
+    parser.add_argument("--fresh", required=True,
+                        help="BENCH_plm.json from a fresh (quick) run")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative speedup loss (default 0.15)")
+    args = parser.parse_args()
+
+    committed = load_speedups(args.committed)
+    fresh = load_speedups(args.fresh)
+
+    shared = sorted(set(committed) & set(fresh))
+    if not shared:
+        print(
+            "check_perf_regression: no shared instances between "
+            f"{args.committed} ({sorted(committed)}) and "
+            f"{args.fresh} ({sorted(fresh)})",
+            file=sys.stderr,
+        )
+        return 1
+
+    failed = False
+    for name in shared:
+        floor = committed[name] * (1.0 - args.tolerance)
+        status = "ok" if fresh[name] >= floor else "REGRESSED"
+        print(
+            f"{name}: committed speedup {committed[name]:.2f}x, "
+            f"fresh {fresh[name]:.2f}x, floor {floor:.2f}x -> {status}"
+        )
+        failed |= fresh[name] < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
