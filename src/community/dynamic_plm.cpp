@@ -9,6 +9,23 @@
 namespace grapr {
 
 void DynamicPlm::run(const Graph& g) {
+    if (hasRun_) {
+        // Warm re-detection: seed from the prior partition instead of
+        // resetting to singletons. Volumes and ω(E) are rebuilt for the
+        // current graph (mutations between run() calls may not all have
+        // been notified), then a restricted move phase over all nodes
+        // settles the solution — converged regions drain immediately.
+        growToBound(g.upperNodeIdBound());
+        omegaE_ = g.totalEdgeWeight();
+        std::fill(communityVolume_.begin(), communityVolume_.end(), 0.0);
+        g.forNodes(
+            [&](node v) { communityVolume_[zeta_[v]] += g.volume(v); });
+        pending_.clear();
+        std::fill(active_.begin(), active_.end(), 0);
+        g.forNodes([&](node v) { activate(v); });
+        update(g);
+        return;
+    }
     Plm plm(PlmConfig{.gamma = gamma_});
     zeta_ = plm.run(g);
     omegaE_ = g.totalEdgeWeight();
@@ -27,11 +44,44 @@ void DynamicPlm::run(const Graph& g) {
     hasRun_ = true;
 }
 
+void DynamicPlm::reset() {
+    hasRun_ = false;
+    zeta_ = Partition();
+    communityVolume_.clear();
+    omegaE_ = 0.0;
+    active_.clear();
+    pending_.clear();
+    freeIds_.clear();
+    lastWork_ = 0;
+}
+
+void DynamicPlm::growToBound(count bound) {
+    const count oldSize = zeta_.numberOfElements();
+    if (oldSize < bound) {
+        Partition grown(bound);
+        for (node v = 0; v < oldSize; ++v) grown.set(v, zeta_[v]);
+        grown.setUpperBound(zeta_.upperBound());
+        zeta_ = std::move(grown);
+        // Every new node starts in its own (empty-volume) community; the
+        // id allocation also grows communityVolume_, which is what kept
+        // onEdgeInsert from indexing out of bounds for grown graphs.
+        for (count v = oldSize; v < bound; ++v) {
+            zeta_.set(static_cast<node>(v), allocateCommunityId());
+        }
+    }
+    if (active_.size() < bound) active_.resize(bound, 0);
+}
+
 void DynamicPlm::activate(node v) {
     if (v < active_.size() && !active_[v]) {
         active_[v] = 1;
         pending_.push_back(v);
     }
+}
+
+void DynamicPlm::onNodeAdd(node v) {
+    require(hasRun_, "DynamicPlm: call run() first");
+    growToBound(static_cast<count>(v) + 1);
 }
 
 node DynamicPlm::allocateCommunityId() {
@@ -50,6 +100,7 @@ node DynamicPlm::allocateCommunityId() {
 
 void DynamicPlm::onEdgeInsert(const Graph& g, node u, node v, edgeweight w) {
     require(hasRun_, "DynamicPlm: call run() first");
+    growToBound(g.upperNodeIdBound());
     // Volume bookkeeping: each endpoint gains w (a loop gains 2w).
     omegaE_ += w;
     if (u == v) {
@@ -65,6 +116,7 @@ void DynamicPlm::onEdgeInsert(const Graph& g, node u, node v, edgeweight w) {
 
 void DynamicPlm::onEdgeRemove(const Graph& g, node u, node v, edgeweight w) {
     require(hasRun_, "DynamicPlm: call run() first");
+    growToBound(g.upperNodeIdBound());
     omegaE_ -= w;
     if (u == v) {
         communityVolume_[zeta_[u]] -= 2.0 * w;

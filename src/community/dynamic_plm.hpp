@@ -29,8 +29,20 @@ public:
     explicit DynamicPlm(double gamma = 1.0, count maxSweeps = 100)
         : gamma_(gamma), maxSweeps_(maxSweeps) {}
 
-    /// Full (re-)initialization: run static PLM on g.
+    /// Detect communities on g. The first call runs static PLM from
+    /// scratch; any later call is a WARM re-detection seeded from the
+    /// prior partition's community ids — volumes and ω(E) are rebuilt for
+    /// the current graph, every node is re-activated, and a restricted
+    /// move phase settles the solution without discarding convergence
+    /// state. Call reset() first to force a cold from-scratch run.
     void run(const Graph& g);
+
+    /// Discard all maintained state; the next run() is a cold start.
+    void reset();
+
+    /// Notify that node v was added (isolated); it becomes its own
+    /// community until edges arrive.
+    void onNodeAdd(node v);
 
     /// Notify that edge {u, v} with weight w was inserted (call after the
     /// graph mutation).
@@ -63,6 +75,7 @@ private:
     bool hasRun_ = false;
 
     void activate(node v);
+    void growToBound(count bound);
     node allocateCommunityId();
 };
 

@@ -1,5 +1,7 @@
 #include "community/dynamic_plp.hpp"
 
+#include <algorithm>
+
 #include "community/plp.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
@@ -7,6 +9,20 @@
 namespace grapr {
 
 void DynamicPlp::run(const Graph& g) {
+    if (hasRun_) {
+        // Warm re-detection: seed from the prior labels instead of
+        // resetting every untouched node back to a singleton. All nodes
+        // are re-activated, but the restricted sweep starts from the
+        // converged state — unchanged regions are fixpoints (sticky
+        // labels) and drain from the frontier after one evaluation.
+        growToBound(g.upperNodeIdBound());
+        pending_.clear();
+        std::fill(active_.begin(), active_.end(), 0);
+        g.forNodes([&](node v) { activate(v); });
+        update(g);
+        return;
+    }
+    reset();
     Plp plp;
     zeta_ = plp.run(g);
     active_.assign(g.upperNodeIdBound(), 0);
@@ -15,13 +31,28 @@ void DynamicPlp::run(const Graph& g) {
     hasRun_ = true;
 }
 
+void DynamicPlp::reset() {
+    hasRun_ = false;
+    zeta_ = Partition();
+    active_.clear();
+    pending_.clear();
+    lastWork_ = 0;
+}
+
 void DynamicPlp::growToBound(count bound) {
-    if (zeta_.numberOfElements() < bound) {
+    const count oldSize = zeta_.numberOfElements();
+    if (oldSize < bound) {
         Partition grown(bound);
-        for (node v = 0; v < zeta_.numberOfElements(); ++v) {
+        grown.setUpperBound(
+            std::max(zeta_.upperBound(), static_cast<node>(bound)));
+        for (node v = 0; v < oldSize; ++v) {
             grown.set(v, zeta_[v]);
         }
-        grown.setUpperBound(static_cast<node>(bound));
+        // New nodes start as their own community (the onNodeAdd rule);
+        // leaving them at `none` would poison the label accumulator.
+        for (count v = oldSize; v < bound; ++v) {
+            grown.set(static_cast<node>(v), static_cast<node>(v));
+        }
         zeta_ = std::move(grown);
     }
     if (active_.size() < bound) active_.resize(bound, 0);

@@ -26,8 +26,16 @@ public:
     /// `maxSweeps`: cap on restricted iterations per update batch.
     explicit DynamicPlp(count maxSweeps = 100) : maxSweeps_(maxSweeps) {}
 
-    /// Full (re-)initialization: run PLP from scratch on g.
+    /// Detect communities on g. The first call runs PLP from scratch; any
+    /// later call is a WARM re-detection seeded from the prior partition's
+    /// labels — every node is re-activated, but untouched converged
+    /// regions are fixpoints of the sticky-label sweep, so convergence
+    /// state is preserved rather than reset to singletons. Call reset()
+    /// first to force a cold from-scratch run.
     void run(const Graph& g);
+
+    /// Discard all maintained state; the next run() is a cold start.
+    void reset();
 
     /// Notify that edge {u, v} was inserted into g (after the insertion).
     void onEdgeInsert(const Graph& g, node u, node v);

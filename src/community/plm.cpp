@@ -250,10 +250,36 @@ constexpr std::size_t kSimdMinCandidates = 8;
 /// Small levels (and late active-set frontiers) take the flat sweep.
 constexpr std::size_t kBucketedMinWork = std::size_t{1} << 15;
 
+/// Restriction of the tuned kernel to a seeded frontier — the streaming
+/// engine's incremental re-detection mode (Plm::movePhaseSeeded). Instead
+/// of sweeping all nodes, iteration 0 evaluates only `seed` (the nodes a
+/// batch touched) and later iterations ride the active-set frontier
+/// exactly as kernel.activeNodes does, so re-detection cost scales with
+/// the perturbation, not the graph. `splitBase` additionally lets every
+/// node u consider leaving for its own reserved empty community
+/// (splitBase + u): after deletions a node's best move may be to no
+/// existing neighbor community at all, which the static kernel never needs
+/// (it starts from singletons) but a warm start from a converged partition
+/// does.
+struct SeededSweep {
+    const std::vector<node>* seed = nullptr;
+    node splitBase = none;
+    count* evaluated = nullptr; ///< out: DISTINCT nodes evaluated (the
+                                ///< re-activated set across iterations)
+    /// Minimum Δmodularity a move must gain to be accepted. A batch shifts
+    /// the total edge weight ω, which perturbs EVERY marginal node's score
+    /// a little; without a floor, converged near-tie nodes far from the
+    /// perturbation flip on those micro-gains and drag their whole
+    /// neighborhood into the frontier. 0.0 reproduces the static rule
+    /// (any positive gain moves).
+    double minGain = 0.0;
+};
+
 template <typename Cells, typename Volumes>
 count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
                          count maxIterations, IterationTracer* tracer,
-                         const PlmKernelConfig& kernel) {
+                         const PlmKernelConfig& kernel,
+                         const SeededSweep* seeded = nullptr) {
     const count bound = g.upperNodeIdBound();
     const double omegaE = g.totalEdgeWeight();
     if (omegaE <= 0.0) return 0;
@@ -278,7 +304,14 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
 #else
     const bool simd = false; // build option off: scalar oracle only
 #endif
-    const bool active = kernel.activeNodes;
+    // A seeded sweep is frontier-driven by construction: iteration 0 is
+    // the seed, later iterations the nodes whose neighborhood changed.
+    const bool active = kernel.activeNodes || seeded != nullptr;
+    const node splitBase = seeded ? seeded->splitBase : none;
+    // score = 2ω²·ΔQ, so a ΔQ floor translates to score units as
+    // minGain · 2ω² (= minGain · twoOmega² / 2).
+    const double moveThreshold =
+        seeded ? seeded->minGain * 0.5 * twoOmega * twoOmega : 0.0;
     // Bucketing exists to fix multi-thread load imbalance; sequentially it
     // is pure overhead and would reorder the evaluation sweep, so a
     // one-thread run always takes the flat in-order path (this is what
@@ -289,11 +322,21 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
 
     // The work list: nodes with non-empty rows, ascending (the reference
     // evaluation order). Under activeNodes it becomes the frontier after
-    // the first iteration.
+    // the first iteration. A seeded sweep starts from the seed instead of
+    // all nodes (sorted + deduplicated for a deterministic order).
     std::vector<node> work;
-    work.reserve(bound);
-    for (node u = 0; u < bound; ++u) {
-        if (offsets[u] != offsets[u + 1]) work.push_back(u);
+    if (seeded) {
+        work.reserve(seeded->seed->size());
+        for (const node u : *seeded->seed) {
+            if (u < bound && offsets[u] != offsets[u + 1]) work.push_back(u);
+        }
+        std::sort(work.begin(), work.end());
+        work.erase(std::unique(work.begin(), work.end()), work.end());
+    } else {
+        work.reserve(bound);
+        for (node u = 0; u < bound; ++u) {
+            if (offsets[u] != offsets[u + 1]) work.push_back(u);
+        }
     }
 
     // Deduplication bitmap of the next frontier: a mover raises its
@@ -413,7 +456,19 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
             }
         }
 
-        if (bestCommunity != current && bestScore > 0.0) {
+        if (splitBase != none) {
+            // Splitting off into u's reserved empty community scores
+            // ω(u,D) = 0, vol(D) = 0 — i.e. exactly `base`. Strictly
+            // greater only: on a tie, staying (or a real neighbor
+            // community) always beats opening a new one.
+            const node isolated = splitBase + u;
+            if (current != isolated && base > bestScore) {
+                bestScore = base;
+                bestCommunity = isolated;
+            }
+        }
+
+        if (bestCommunity != current && bestScore > moveThreshold) {
             vols.apply(current, -volU);
             vols.apply(bestCommunity, volU);
             // grapr:benign-race(zeta): non-atomic label publish; stale
@@ -445,9 +500,25 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
     std::vector<node> hubBucket;
 
     count totalMoves = 0;
+    count evaluatedNodes = 0;
+    // Seeded sweeps report the distinct re-activated set, not evaluation
+    // work: a node revisited by five frontier rounds is still one node of
+    // re-detection locality (the <10%-of-n acceptance metric).
+    std::vector<std::uint8_t> everEvaluated;
+    if (seeded) everEvaluated.assign(bound, 0);
     for (count iteration = 0;
          iteration < maxIterations && !work.empty(); ++iteration) {
         GRAPR_RACE_PHASE("plm.moveTuned");
+        if (seeded) {
+            for (const node u : work) {
+                if (!everEvaluated[u]) {
+                    everEvaluated[u] = 1;
+                    ++evaluatedNodes;
+                }
+            }
+        } else {
+            evaluatedNodes += work.size();
+        }
         count movedThisRound = 0;
         if (bucketed && work.size() >= kBucketedMinWork) {
             // Split the sweep by row shape: short uniform rows get cheap
@@ -536,23 +607,30 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
             }
         }
     }
+    if (seeded && seeded->evaluated) *seeded->evaluated = evaluatedNodes;
     return totalMoves;
 }
 
 count movePhaseTuned(const CsrGraph& g, Partition& zeta, double gamma,
                      count maxIterations, IterationTracer* tracer,
-                     const PlmKernelConfig& kernel) {
+                     const PlmKernelConfig& kernel,
+                     const SeededSweep* seeded = nullptr) {
     const bool sharded = kernel.volumePolicy == PlmVolumePolicy::Sharded;
     if (g.isWeighted()) {
-        return sharded ? movePhaseTunedImpl<FrozenWeightCells, ShardedVolumes>(
-                             g, zeta, gamma, maxIterations, tracer, kernel)
-                       : movePhaseTunedImpl<FrozenWeightCells, AtomicVolumes>(
-                             g, zeta, gamma, maxIterations, tracer, kernel);
+        return sharded
+                   ? movePhaseTunedImpl<FrozenWeightCells, ShardedVolumes>(
+                         g, zeta, gamma, maxIterations, tracer, kernel,
+                         seeded)
+                   : movePhaseTunedImpl<FrozenWeightCells, AtomicVolumes>(
+                         g, zeta, gamma, maxIterations, tracer, kernel,
+                         seeded);
     }
     return sharded ? movePhaseTunedImpl<FrozenCountCells, ShardedVolumes>(
-                         g, zeta, gamma, maxIterations, tracer, kernel)
+                         g, zeta, gamma, maxIterations, tracer, kernel,
+                         seeded)
                    : movePhaseTunedImpl<FrozenCountCells, AtomicVolumes>(
-                         g, zeta, gamma, maxIterations, tracer, kernel);
+                         g, zeta, gamma, maxIterations, tracer, kernel,
+                         seeded);
 }
 
 /// Layout dispatch for the Recompute strategy: the mutable layout runs the
@@ -701,6 +779,22 @@ count Plm::movePhase(const CsrGraph& g, Partition& zeta, double gamma,
 count Plm::movePhaseReference(const CsrGraph& g, Partition& zeta, double gamma,
                               count maxIterations, IterationTracer* tracer) {
     return movePhaseImpl(g, zeta, gamma, maxIterations, tracer);
+}
+
+count Plm::movePhaseSeeded(const CsrGraph& g, Partition& zeta, double gamma,
+                           count maxIterations,
+                           const std::vector<node>& seed, node splitBase,
+                           count* evaluatedNodes,
+                           const PlmKernelConfig& kernel, double minGain) {
+    if (splitBase != none) {
+        require(static_cast<count>(splitBase) + g.upperNodeIdBound() <=
+                    zeta.upperBound(),
+                "movePhaseSeeded: zeta.upperBound() must cover the "
+                "reserved split-off range [splitBase, splitBase + bound)");
+    }
+    const SeededSweep restriction{&seed, splitBase, evaluatedNodes, minGain};
+    return movePhaseTuned(g, zeta, gamma, maxIterations, nullptr, kernel,
+                          &restriction);
 }
 
 count Plm::movePhaseCachedMaps(const Graph& g, Partition& zeta, double gamma,

@@ -188,6 +188,29 @@ public:
                                     double gamma, count maxIterations,
                                     IterationTracer* tracer);
 
+    /// Seeded restricted move phase — the incremental re-detection entry
+    /// of the streaming engine (community/streaming_update.hpp). Iteration
+    /// 0 evaluates only `seed` (the nodes a batch touched); later
+    /// iterations ride the PR-6 active-set frontier, so cost scales with
+    /// the perturbation, not n. `zeta` must be complete over g with labels
+    /// < zeta.upperBound(). When `splitBase != none`, node u may also
+    /// split off into its own reserved empty community `splitBase + u`
+    /// (required after deletions; zeta.upperBound() must cover
+    /// splitBase + upperNodeIdBound()). `evaluatedNodes`, if non-null,
+    /// receives the number of DISTINCT nodes evaluated across iterations —
+    /// the re-activation metric BENCH_stream.json reports. `minGain` is a
+    /// Δmodularity floor a move must clear: batches shift the total edge
+    /// weight, nudging every marginal node's score, and without a floor
+    /// converged near-ties far from the batch flip on those micro-gains
+    /// and balloon the frontier (0.0 = the static any-positive-gain rule).
+    /// Deterministic single-threaded for a fixed seed list.
+    static count movePhaseSeeded(const CsrGraph& g, Partition& zeta,
+                                 double gamma, count maxIterations,
+                                 const std::vector<node>& seed,
+                                 node splitBase, count* evaluatedNodes,
+                                 const PlmKernelConfig& kernel = {},
+                                 double minGain = 0.0);
+
     /// The abandoned first implementation (per-node cached maps + locks),
     /// same contract as movePhase. Exposed for the strategy ablation.
     static count movePhaseCachedMaps(const Graph& g, Partition& zeta,

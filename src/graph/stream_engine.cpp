@@ -1,0 +1,341 @@
+#include "graph/stream_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include <omp.h>
+
+#include "structures/delta_csr.hpp"
+#include "support/parallel.hpp"
+
+namespace grapr {
+
+namespace {
+
+/// Canonical key of undirected edge {u, v}: (min << 32) | max.
+inline std::uint64_t edgeKey(node a, node b) noexcept {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Per-edge replay state while normalizing a batch: the edge's presence
+/// and weight in the frozen base, and its evolving state as the batch's
+/// ops are applied in order.
+struct EdgeReplay {
+    bool basePresent = false;
+    edgeweight baseWeight = 0.0;
+    bool present = false;
+    edgeweight weight = 0.0;
+};
+
+/// A net half-edge effect, canonicalized (a <= b).
+struct NetEdge {
+    node a;
+    node b;
+    edgeweight w;
+};
+
+/// Re-wrap a frozen CsrGraph's arrays so the stored snapshot has a
+/// disengaged view stamp (snapshot staleness is the engine's business,
+/// tracked by its own generation cell — see stream_engine.hpp).
+CsrGraph rewrapDisengaged(const CsrGraph& frozen, bool weighted) {
+    return CsrGraph(frozen.offsets(), frozen.neighborArray(),
+                    frozen.weightArray(), weighted);
+}
+
+void requireSortedRows(const CsrGraph& g) {
+    const std::vector<index>& offsets = g.offsets();
+    const std::vector<node>& neighbors = g.neighborArray();
+    const auto bound = static_cast<std::int64_t>(g.upperNodeIdBound());
+    std::atomic<bool> unsorted{false};
+#pragma omp parallel for default(none)                                       \
+    shared(offsets, neighbors, bound, unsorted) schedule(static)
+    for (std::int64_t sv = 0; sv < bound; ++sv) {
+        const auto v = static_cast<node>(sv);
+        for (index i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+            if (neighbors[i - 1] >= neighbors[i]) {
+                unsorted.store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+    require(!unsorted.load(),
+            "StreamingGraph: initial snapshot rows must be sorted "
+            "strictly ascending (call Graph::sortNeighborLists first)");
+}
+
+} // namespace
+
+std::optional<edgeweight> csrEdgeWeight(const CsrGraph& g, node u, node v) {
+    const count bound = g.upperNodeIdBound();
+    if (u >= bound || v >= bound) return std::nullopt;
+    if (g.degree(v) < g.degree(u)) std::swap(u, v); // search the short row
+    const std::vector<index>& offsets = g.offsets();
+    const std::vector<node>& neighbors = g.neighborArray();
+    const auto first =
+        neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    const auto last =
+        neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+    const auto it = std::lower_bound(first, last, v);
+    if (it == last || *it != v) return std::nullopt;
+    if (!g.isWeighted()) return 1.0;
+    return g.weightArray()[static_cast<std::size_t>(it - neighbors.begin())];
+}
+
+StreamingGraph::StreamingGraph(const Graph& initial)
+    : weighted_(initial.isWeighted()) {
+    // Copy first: sorting is a mutation and must not invalidate views the
+    // caller may have frozen from `initial`.
+    Graph sorted = initial;
+    sorted.sortNeighborLists();
+    const CsrGraph frozen(sorted);
+    auto snap = std::make_shared<StreamSnapshot>();
+    snap->generation = 0;
+    snap->graph = rewrapDisengaged(frozen, weighted_);
+    head_ = std::move(snap);
+}
+
+StreamingGraph::StreamingGraph(CsrGraph initial)
+    : weighted_(initial.isWeighted()) {
+    requireSortedRows(initial);
+    auto snap = std::make_shared<StreamSnapshot>();
+    snap->generation = 0;
+    snap->graph = rewrapDisengaged(initial, weighted_);
+    head_ = std::move(snap);
+}
+
+std::uint64_t StreamingGraph::generation() const {
+    return pin()->generation;
+}
+
+SnapshotPtr StreamingGraph::pin() const {
+    std::lock_guard<std::mutex> lock(headMutex_);
+    return head_;
+}
+
+StreamView StreamingGraph::current(GRAPR_VIEW_SITE_ARG0) const {
+#ifdef GRAPR_VIEW_CHECK
+    return StreamView(pin(), view::ViewStamp(stamp_, graprViewSite_));
+#else
+    return StreamView(pin());
+#endif
+}
+
+void StreamingGraph::publish(SnapshotPtr next) {
+    std::lock_guard<std::mutex> lock(headMutex_);
+    head_ = std::move(next);
+}
+
+BatchResult StreamingGraph::apply(const EdgeBatch& batch,
+                                  StreamApplyMode mode GRAPR_VIEW_SITE_ARG) {
+    std::lock_guard<std::mutex> writerLock(writerMutex_);
+    const SnapshotPtr base = pin();
+    const CsrGraph& g = base->graph;
+    const count oldBound = g.upperNodeIdBound();
+
+    BatchResult result;
+    result.generation = base->generation;
+
+    // --- replay the batch in order against the frozen base ---------------
+    // Per-edge state lets remove-then-insert in one batch express a
+    // reweight, and makes Strict-mode validity depend on the evolving
+    // batch state, not just the base graph.
+    std::unordered_map<std::uint64_t, EdgeReplay> replay;
+    replay.reserve(batch.size());
+    for (const EdgeOp& op : batch.ops()) {
+        require(op.u != none && op.v != none,
+                "StreamingGraph::apply: op names the `none` sentinel node");
+        const node a = std::min(op.u, op.v);
+        const node b = std::max(op.u, op.v);
+        auto [it, fresh] = replay.try_emplace(edgeKey(a, b));
+        EdgeReplay& s = it->second;
+        if (fresh) {
+            const std::optional<edgeweight> w = csrEdgeWeight(g, a, b);
+            s.basePresent = w.has_value();
+            s.baseWeight = w.value_or(0.0);
+            s.present = s.basePresent;
+            s.weight = s.baseWeight;
+        }
+        if (op.kind == EdgeOp::Kind::Insert) {
+            if (s.present) {
+                require(mode == StreamApplyMode::Permissive,
+                        "StreamingGraph::apply: insert of an existing edge "
+                        "(Strict mode)");
+                ++result.ignored;
+            } else {
+                s.present = true;
+                s.weight = weighted_ ? op.w : 1.0;
+            }
+        } else {
+            if (!s.present) {
+                require(mode == StreamApplyMode::Permissive,
+                        "StreamingGraph::apply: delete of a missing edge "
+                        "(Strict mode)");
+                ++result.ignored;
+            } else {
+                s.present = false;
+            }
+        }
+    }
+
+    // --- reduce to net per-edge effects, deterministically ordered -------
+    std::vector<NetEdge> netIns; // inserts (incl. the insert half of a
+    std::vector<NetEdge> netDel; // reweight); w of a delete = base weight
+    for (const auto& [key, s] : replay) {
+        const auto a = static_cast<node>(key >> 32);
+        const auto b = static_cast<node>(key & 0xffffffffu);
+        if (s.basePresent && !s.present) {
+            netDel.push_back({a, b, s.baseWeight});
+            ++result.removed;
+        } else if (!s.basePresent && s.present) {
+            netIns.push_back({a, b, s.weight});
+            ++result.inserted;
+        } else if (s.basePresent && s.weight != s.baseWeight) {
+            netDel.push_back({a, b, s.baseWeight});
+            netIns.push_back({a, b, s.weight});
+            ++result.reweighted;
+        }
+    }
+    const auto byEndpoints = [](const NetEdge& x, const NetEdge& y) {
+        return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+    };
+    std::sort(netIns.begin(), netIns.end(), byEndpoints);
+    std::sort(netDel.begin(), netDel.end(), byEndpoints);
+
+    if (netIns.empty() && netDel.empty()) {
+        return result; // no net effect: nothing published, views stay valid
+    }
+
+    // Inverse batch: removes of the net inserts first, then re-inserts of
+    // the net deletes at their observed base weight. Removes go first so a
+    // reweighted edge is strictly-valid to undo (remove new, insert old).
+    for (const NetEdge& e : netIns) result.inverse.remove(e.a, e.b);
+    for (const NetEdge& e : netDel) result.inverse.insert(e.a, e.b, e.w);
+
+    // Touched frontier + node-id bound of the next generation.
+    count newBound = oldBound;
+    for (const std::vector<NetEdge>* list : {&netIns, &netDel}) {
+        for (const NetEdge& e : *list) {
+            result.touched.push_back(e.a);
+            result.touched.push_back(e.b);
+            newBound = std::max(newBound, static_cast<count>(e.b) + 1);
+        }
+    }
+    std::sort(result.touched.begin(), result.touched.end());
+    result.touched.erase(
+        std::unique(result.touched.begin(), result.touched.end()),
+        result.touched.end());
+
+    // --- scatter the net effects into per-row delta lists -----------------
+    CsrDelta delta;
+    delta.newBound = newBound;
+    std::vector<count> insCnt(newBound, 0);
+    std::vector<count> delCnt(newBound, 0);
+    for (const NetEdge& e : netIns) {
+        ++insCnt[e.a];
+        if (e.b != e.a) ++insCnt[e.b];
+    }
+    for (const NetEdge& e : netDel) {
+        ++delCnt[e.a];
+        if (e.b != e.a) ++delCnt[e.b];
+    }
+    const count insTotal = Parallel::prefixSum(insCnt);
+    const count delTotal = Parallel::prefixSum(delCnt);
+    delta.insOffsets.assign(newBound + 1, 0);
+    delta.delOffsets.assign(newBound + 1, 0);
+    for (node v = 0; v < newBound; ++v) {
+        delta.insOffsets[v] = insCnt[v];
+        delta.delOffsets[v] = delCnt[v];
+    }
+    delta.insOffsets[newBound] = insTotal;
+    delta.delOffsets[newBound] = delTotal;
+    delta.insTargets.resize(insTotal);
+    delta.insWeights.resize(weighted_ ? insTotal : 0);
+    delta.delTargets.resize(delTotal);
+
+    std::vector<index> insCursor(delta.insOffsets.begin(),
+                                 delta.insOffsets.end() - 1);
+    std::vector<index> delCursor(delta.delOffsets.begin(),
+                                 delta.delOffsets.end() - 1);
+    const auto scatterIns = [&](node row, node target, edgeweight w) {
+        const index pos = insCursor[row]++;
+        delta.insTargets[pos] = target;
+        if (weighted_) delta.insWeights[pos] = w;
+    };
+    for (const NetEdge& e : netIns) {
+        scatterIns(e.a, e.b, e.w);
+        if (e.b != e.a) scatterIns(e.b, e.a, e.w);
+    }
+    for (const NetEdge& e : netDel) {
+        delta.delTargets[delCursor[e.a]++] = e.b;
+        if (e.b != e.a) delta.delTargets[delCursor[e.b]++] = e.a;
+    }
+    // Net edges were scattered in (a, b) order, so row-a slices are already
+    // sorted; the b-side back-edges are not. Sort every touched row slice.
+    for (const node v : result.touched) {
+        const auto insLo = static_cast<std::ptrdiff_t>(delta.insOffsets[v]);
+        const auto insHi =
+            static_cast<std::ptrdiff_t>(delta.insOffsets[v + 1]);
+        if (weighted_) {
+            // Keep targets and weights aligned: sort an index permutation.
+            std::vector<std::pair<node, edgeweight>> row;
+            row.reserve(static_cast<std::size_t>(insHi - insLo));
+            for (std::ptrdiff_t i = insLo; i < insHi; ++i) {
+                row.emplace_back(delta.insTargets[static_cast<index>(i)],
+                                 delta.insWeights[static_cast<index>(i)]);
+            }
+            std::sort(row.begin(), row.end());
+            for (std::ptrdiff_t i = insLo; i < insHi; ++i) {
+                const auto& [t, w] = row[static_cast<std::size_t>(i - insLo)];
+                delta.insTargets[static_cast<index>(i)] = t;
+                delta.insWeights[static_cast<index>(i)] = w;
+            }
+        } else {
+            std::sort(delta.insTargets.begin() + insLo,
+                      delta.insTargets.begin() + insHi);
+        }
+        std::sort(delta.delTargets.begin() +
+                      static_cast<std::ptrdiff_t>(delta.delOffsets[v]),
+                  delta.delTargets.begin() +
+                      static_cast<std::ptrdiff_t>(delta.delOffsets[v + 1]));
+    }
+
+    // --- assemble generation N+1 in parallel, then publish ----------------
+    // Readers keep serving `base` throughout: applyDelta only reads it.
+    CsrGraph next = applyDelta(g, delta, weighted_);
+    auto snap = std::make_shared<StreamSnapshot>();
+    snap->generation = base->generation + 1;
+    snap->graph = std::move(next);
+    result.generation = snap->generation;
+    publish(std::move(snap));
+    // Borrowed views of generation N are stale from this point on; the
+    // bump records the publish site for the GRAPR_VIEW_CHECK report.
+    GRAPR_VIEW_BUMP(stamp_);
+    return result;
+}
+
+// --- GraphLog ------------------------------------------------------------
+
+BatchResult GraphLog::commit(StreamApplyMode mode) {
+    BatchResult result = graph_->apply(pending_, mode);
+    pending_.clear();
+    undo_.push_back(result.inverse);
+    return result;
+}
+
+BatchResult GraphLog::apply(const EdgeBatch& batch, StreamApplyMode mode) {
+    BatchResult result = graph_->apply(batch, mode);
+    undo_.push_back(result.inverse);
+    return result;
+}
+
+BatchResult GraphLog::undo() {
+    require(!undo_.empty(), "GraphLog::undo: nothing to undo");
+    const EdgeBatch inverse = std::move(undo_.back());
+    undo_.pop_back();
+    return graph_->apply(inverse, StreamApplyMode::Strict);
+}
+
+} // namespace grapr

@@ -1,0 +1,158 @@
+#pragma once
+// StreamingGraph — double-buffered snapshot engine over frozen CsrGraphs
+// (DESIGN.md "Streaming updates and snapshot isolation").
+//
+// The engine holds one *published* immutable generation at a time. Readers
+// either pin() a generation (a shared_ptr keeps the whole snapshot alive
+// for as long as they hold it — safe across arbitrarily many publishes) or
+// take a lightweight current() view (borrowed, valid only until the next
+// publish; GRAPR_VIEW_CHECK builds abort a view that crosses the publish
+// boundary, naming both the acquisition and the publish site). Writers
+// submit EdgeBatches through apply()/GraphLog::commit(): the batch is
+// normalized against the frozen base, assembled into generation N+1 by the
+// parallel delta-CSR merge (structures/delta_csr.hpp) while readers keep
+// serving generation N untouched, and then published by one pointer swap.
+//
+// Epoch lifecycle of a generation:
+//
+//   assembling ──publish──▶ current ──next publish──▶ retired ──▶ freed
+//                              │                        │
+//                        pin()/current()          pinned readers keep
+//                           serve it              serving it; freed when
+//                                                 the last pin drops
+//
+// Concurrency contract:
+//   - any number of concurrent readers, via pin() or current();
+//   - concurrent writers are serialized on an internal writer mutex
+//     (batches apply atomically, in some total order);
+//   - readers never block writers and vice versa beyond the O(1)
+//     head-pointer handoff (a mutex-guarded shared_ptr copy, chosen over
+//     atomic<shared_ptr> for portability and TSan transparency).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_log.hpp"
+#include "support/common.hpp"
+#include "support/view_check.hpp"
+
+namespace grapr {
+
+/// One immutable published generation. The CsrGraph is assembled from raw
+/// arrays, so its own view stamp is disengaged — staleness of *borrowed*
+/// engine views is tracked by the engine's generation cell instead, and
+/// pinned snapshots are immortal-while-held by design.
+struct StreamSnapshot {
+    std::uint64_t generation = 0;
+    CsrGraph graph;
+};
+
+using SnapshotPtr = std::shared_ptr<const StreamSnapshot>;
+
+/// Borrowed read handle on the engine's current generation. Holds the
+/// snapshot alive (memory-safe even if the engine publishes or dies), but
+/// the *contract* is that a StreamView is only read while its generation
+/// is still the published head — a reader that wants to survive publishes
+/// must pin() instead. GRAPR_VIEW_CHECK enforces the contract at runtime:
+/// graph() aborts after a publish, reporting where the view was taken and
+/// where the publish happened.
+class StreamView {
+public:
+    const CsrGraph& graph() const {
+        GRAPR_VIEW_ASSERT(stamp_);
+        return snapshot_->graph;
+    }
+    std::uint64_t generation() const noexcept {
+        return snapshot_->generation;
+    }
+
+private:
+    friend class StreamingGraph;
+#ifdef GRAPR_VIEW_CHECK
+    StreamView(SnapshotPtr snapshot, view::ViewStamp stamp)
+        : snapshot_(std::move(snapshot)), stamp_(stamp) {}
+    view::ViewStamp stamp_;
+#else
+    explicit StreamView(SnapshotPtr snapshot)
+        : snapshot_(std::move(snapshot)) {}
+#endif
+    SnapshotPtr snapshot_;
+};
+
+/// Outcome of one applied batch.
+struct BatchResult {
+    /// Generation the batch produced (== base generation for a batch with
+    /// no net effect, which publishes nothing).
+    std::uint64_t generation = 0;
+    count inserted = 0;   ///< net edge insertions
+    count removed = 0;    ///< net edge removals
+    count reweighted = 0; ///< net weight changes (remove+insert in batch)
+    count ignored = 0;    ///< no-effect ops dropped in Permissive mode
+    /// Batch that exactly undoes this one (GraphLog keeps these).
+    EdgeBatch inverse;
+    /// Endpoints of every net-changed edge, sorted ascending, deduplicated
+    /// — the seed frontier for incremental re-detection.
+    std::vector<node> touched;
+};
+
+class StreamingGraph {
+public:
+    /// Freeze `initial` as generation 0. The adjacency is copied and
+    /// sorted per row (the engine keeps every generation's rows sorted so
+    /// edge lookups are binary searches); holes in the node-id space are
+    /// preserved as empty rows.
+    explicit StreamingGraph(const Graph& initial);
+
+    /// Start from an already-frozen snapshot whose rows must be sorted
+    /// ascending (e.g. from io::parallel ingestion, which sorts rows).
+    explicit StreamingGraph(CsrGraph initial);
+
+    bool isWeighted() const noexcept { return weighted_; }
+
+    /// Generation of the currently published snapshot.
+    std::uint64_t generation() const;
+
+    /// Pin the current generation: the returned snapshot stays valid and
+    /// bit-identical for as long as the pointer is held, across any number
+    /// of concurrent publishes. The reader-side primitive of snapshot
+    /// isolation.
+    SnapshotPtr pin() const;
+
+    /// Borrowed view of the current generation — cheap, but must not be
+    /// read after the next publish (see StreamView).
+    StreamView current(GRAPR_VIEW_SITE_PARAM0) const;
+
+    /// Apply one batch atomically: normalize against the current head,
+    /// assemble generation N+1 in parallel, publish by pointer swap.
+    /// Readers of generation N are never blocked and never observe a
+    /// partial batch. Strict mode throws (and changes nothing) on
+    /// duplicate inserts / deletes of missing edges; Permissive counts
+    /// them in BatchResult::ignored. Thread-safe against concurrent
+    /// apply() calls (serialized) and against all readers.
+    BatchResult apply(const EdgeBatch& batch,
+                      StreamApplyMode mode = StreamApplyMode::Strict
+                          GRAPR_VIEW_SITE_PARAM);
+
+private:
+    void publish(SnapshotPtr next);
+
+    bool weighted_ = false;
+    mutable std::mutex headMutex_; ///< guards head_ (reads and the swap)
+    std::mutex writerMutex_;       ///< serializes apply()
+    SnapshotPtr head_;
+#ifdef GRAPR_VIEW_CHECK
+    /// Bumped on every publish; borrowed StreamViews assert against it.
+    view::SourceStamp stamp_;
+#endif
+};
+
+/// Binary-search lookup of edge {u, v} in a sorted-row CSR. Returns the
+/// stored weight (1.0 for unweighted graphs), or nullopt if absent.
+std::optional<edgeweight> csrEdgeWeight(const CsrGraph& g, node u, node v);
+
+} // namespace grapr

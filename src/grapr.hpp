@@ -21,8 +21,11 @@
 #include "graph/graph_builder.hpp"
 #include "graph/distances.hpp"
 #include "graph/graph_tools.hpp"
+#include "graph/graph_log.hpp"
+#include "graph/stream_engine.hpp"
 
 #include "structures/partition.hpp"
+#include "structures/delta_csr.hpp"
 #include "structures/cover.hpp"
 #include "structures/union_find.hpp"
 
@@ -74,6 +77,7 @@
 #include "community/plm.hpp"
 #include "community/plmr.hpp"
 #include "community/plp.hpp"
+#include "community/streaming_update.hpp"
 
 #include "baselines/cggc.hpp"
 #include "baselines/clu_matching.hpp"

@@ -1,0 +1,118 @@
+#include "structures/delta_csr.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#include <omp.h>
+
+#include "support/parallel.hpp"
+
+namespace grapr {
+
+CsrGraph applyDelta(const CsrGraph& base, const CsrDelta& delta,
+                    bool weighted) {
+    const count oldBound = base.upperNodeIdBound();
+    const count bound = delta.newBound;
+    require(bound >= oldBound, "applyDelta: delta shrinks the node bound");
+    require(delta.insOffsets.size() == bound + 1 &&
+                delta.delOffsets.size() == bound + 1,
+            "applyDelta: delta offset arrays do not match newBound");
+
+    const std::vector<index>& oldOffsets = base.offsets();
+    const std::vector<node>& oldNeighbors = base.neighborArray();
+    const std::vector<edgeweight>& oldWeights = base.weightArray();
+    const bool baseWeighted = !oldWeights.empty();
+
+    // Pass 1: new degree per row. A delete target missing from its base
+    // row is an engine bug (normalization checks presence against the
+    // base), so only a debit-exceeds-degree sanity check is kept here.
+    std::vector<count> degrees(bound, 0);
+    std::atomic<bool> underflow{false};
+    const auto sbound = static_cast<std::int64_t>(bound);
+#pragma omp parallel for default(none)                                       \
+    shared(degrees, delta, oldOffsets, oldBound, sbound, underflow)          \
+    schedule(static)
+    for (std::int64_t sv = 0; sv < sbound; ++sv) {
+        const auto v = static_cast<node>(sv);
+        const count oldDeg =
+            v < oldBound
+                ? static_cast<count>(oldOffsets[v + 1] - oldOffsets[v])
+                : 0;
+        const count ins =
+            static_cast<count>(delta.insOffsets[v + 1] - delta.insOffsets[v]);
+        const count del =
+            static_cast<count>(delta.delOffsets[v + 1] - delta.delOffsets[v]);
+        if (del > oldDeg) {
+            underflow.store(true, std::memory_order_relaxed);
+        } else {
+            degrees[v] = oldDeg + ins - del;
+        }
+    }
+    require(!underflow.load(),
+            "applyDelta: delete list exceeds base row degree");
+
+    // Pass 2: exclusive prefix sum -> new offsets.
+    const count total = Parallel::prefixSum(degrees);
+    std::vector<index> offsets(bound + 1);
+    for (node v = 0; v < bound; ++v) offsets[v] = degrees[v];
+    offsets[bound] = total;
+
+    std::vector<node> neighbors(total);
+    std::vector<edgeweight> weights(weighted ? total : 0);
+
+    // Pass 3: per-row scatter. Untouched rows copy their old slab;
+    // touched rows merge (old row minus deletes) with the insert list.
+    // Both inputs are sorted ascending and insert targets never collide
+    // with surviving old targets, so a two-pointer merge suffices.
+#pragma omp parallel for default(none)                                       \
+    shared(neighbors, weights, offsets, delta, oldOffsets, oldNeighbors,     \
+               oldWeights, oldBound, sbound, weighted, baseWeighted)         \
+    schedule(guided)
+    for (std::int64_t sv = 0; sv < sbound; ++sv) {
+        const auto v = static_cast<node>(sv);
+        const index oldLo = v < oldBound ? oldOffsets[v] : 0;
+        const index oldHi = v < oldBound ? oldOffsets[v + 1] : 0;
+        index insPos = delta.insOffsets[v];
+        const index insEnd = delta.insOffsets[v + 1];
+        index delPos = delta.delOffsets[v];
+        const index delEnd = delta.delOffsets[v + 1];
+        index out = offsets[v];
+
+        if (insPos == insEnd && delPos == delEnd) {
+            // Fast path: row untouched by the batch.
+            for (index i = oldLo; i < oldHi; ++i, ++out) {
+                neighbors[out] = oldNeighbors[i];
+                if (weighted) {
+                    weights[out] = baseWeighted ? oldWeights[i] : 1.0;
+                }
+            }
+            continue;
+        }
+
+        for (index i = oldLo; i < oldHi; ++i) {
+            const node target = oldNeighbors[i];
+            if (delPos < delEnd && delta.delTargets[delPos] == target) {
+                ++delPos; // edge deleted by the batch
+                continue;
+            }
+            while (insPos < insEnd && delta.insTargets[insPos] < target) {
+                neighbors[out] = delta.insTargets[insPos];
+                if (weighted) weights[out] = delta.insWeights[insPos];
+                ++insPos;
+                ++out;
+            }
+            neighbors[out] = target;
+            if (weighted) weights[out] = baseWeighted ? oldWeights[i] : 1.0;
+            ++out;
+        }
+        for (; insPos < insEnd; ++insPos, ++out) {
+            neighbors[out] = delta.insTargets[insPos];
+            if (weighted) weights[out] = delta.insWeights[insPos];
+        }
+    }
+
+    return CsrGraph(std::move(offsets), std::move(neighbors),
+                    std::move(weights), weighted);
+}
+
+} // namespace grapr

@@ -1,0 +1,64 @@
+#pragma once
+// Delta-CSR assembly — builds generation N+1 of a frozen CsrGraph from
+// generation N plus a normalized edge delta, in parallel, without touching
+// the base arrays (DESIGN.md "Streaming updates and snapshot isolation").
+//
+// The streaming engine normalizes an EdgeBatch down to net per-edge
+// effects and scatters them into per-row insert/delete lists (CsrDelta,
+// itself CSR-shaped: prefix-summed offsets into flat target/weight
+// arrays). Assembly is then a three-pass parallel merge:
+//
+//   1. new degree per row = old degree + inserts − deletes   (parallel)
+//   2. exclusive prefix sum over degrees → new offsets       (parallel)
+//   3. per-row scatter: untouched rows memcpy their old slab; touched
+//      rows merge (sorted old row − deletes) with sorted inserts, so
+//      the sorted-adjacency invariant of the engine is maintained
+//      (binary-search edge lookups stay valid on every generation).
+//
+// Cost is O(n + m + |delta|) total work per batch — the base graph is
+// streamed once — while the paper-style alternative (mutate an adjacency
+// Graph, re-sort, re-freeze) pays an extra O(m log d) sort per batch.
+// bench/micro_stream.cpp measures exactly that ratio.
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/common.hpp"
+
+namespace grapr {
+
+/// Net effect of a batch on CSR rows, grouped and sorted by row. Every
+/// logical edge {u, v} contributes entries to BOTH rows u and v (once for
+/// a self-loop). Insert targets within a row are strictly ascending and
+/// disjoint from the surviving old row; delete targets are strictly
+/// ascending and a subset of the old row. StreamingGraph::apply produces
+/// deltas with these invariants from an arbitrary EdgeBatch.
+struct CsrDelta {
+    /// Node-id bound of the NEW generation (>= base bound; grows when a
+    /// batch inserts edges with previously unseen endpoints).
+    count newBound = 0;
+    /// Per-row slices: ins/del entries of row v live at
+    /// [insOffsets[v], insOffsets[v+1]) / [delOffsets[v], delOffsets[v+1]).
+    std::vector<index> insOffsets;      // size newBound + 1
+    std::vector<index> delOffsets;      // size newBound + 1
+    std::vector<node> insTargets;
+    std::vector<edgeweight> insWeights; // parallels insTargets (weighted)
+    std::vector<node> delTargets;
+
+    count insertHalfEdges() const noexcept { return insTargets.size(); }
+    count deleteHalfEdges() const noexcept { return delTargets.size(); }
+    bool empty() const noexcept {
+        return insTargets.empty() && delTargets.empty();
+    }
+};
+
+/// Assemble the next-generation CSR arrays from `base` + `delta`.
+/// `base` rows must be sorted ascending (the engine's invariant); the
+/// result rows are sorted ascending. Throws if a delete target is missing
+/// from its base row (the engine's normalization guarantees it is not).
+/// The returned CsrGraph re-derives edge counts, self-loops, total weight
+/// and volumes in parallel via the raw-array constructor.
+CsrGraph applyDelta(const CsrGraph& base, const CsrDelta& delta,
+                    bool weighted);
+
+} // namespace grapr

@@ -1,0 +1,117 @@
+#pragma once
+// Randomized stream-workload generator shared by the streaming tests and
+// bench/micro_stream.cpp.
+//
+// Deterministic the PR-3 way: every op of every batch draws from its own
+// counter-based stream (Random::forStream keyed on (seed, batch, op)), so
+// the generated op sequence depends only on the configuration and the
+// snapshot it was generated against — never on the thread count, the
+// OpenMP schedule, or the global thread-local engines. Replaying the same
+// batch sequence therefore reproduces the same graph bit for bit.
+//
+// Removal ops sample a real edge from the provided snapshot (endpoint by
+// skew, neighbor uniform from its row) so deletions actually delete; a
+// configurable fraction of removals instead targets a likely-missing edge
+// to keep the Permissive ignore path exercised. Inserts occasionally emit
+// self-loops and duplicate-prone endpoint pairs on purpose — the property
+// suite's edge cases should appear in the randomized soak too.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_log.hpp"
+#include "graph/stream_engine.hpp"
+#include "support/common.hpp"
+#include "support/random.hpp"
+
+namespace grapr::testing {
+
+struct StreamWorkloadConfig {
+    /// Node-id universe ops draw endpoints from (may exceed the graph's
+    /// current bound — inserting past it grows the graph).
+    count nodes = 1000;
+    count opsPerBatch = 256;
+    /// Fraction of ops that are inserts (the rest are removals).
+    double insertFraction = 0.6;
+    /// Endpoint skew: 0 = uniform ids; larger values bias both insert
+    /// endpoints toward low ids (u = floor(n * r^(1+skew))), giving the
+    /// hot-node contention pattern of real streams.
+    double skew = 0.0;
+    /// Probability that an insert is a self-loop.
+    double selfLoopFraction = 0.02;
+    /// Fraction of removals aimed at a random (likely missing) node pair
+    /// instead of a sampled existing edge.
+    double blindRemoveFraction = 0.1;
+    /// Weights drawn uniformly from [1, maxWeight] (integers, so weighted
+    /// arithmetic stays exact in doubles); 1 = unweighted-compatible.
+    count maxWeight = 1;
+    std::uint64_t seed = 42;
+};
+
+class StreamWorkload {
+public:
+    explicit StreamWorkload(StreamWorkloadConfig config)
+        : config_(config) {}
+
+    const StreamWorkloadConfig& config() const noexcept { return config_; }
+
+    /// Batch number `batchIndex`, generated against `state` (the snapshot
+    /// the batch will be applied to — removal sampling reads its rows).
+    /// Pure function of (config, batchIndex, state): thread-count and
+    /// call-order deterministic. Apply with StreamApplyMode::Permissive —
+    /// collisions (duplicate inserts, blind removals) are intentional.
+    EdgeBatch batch(std::uint64_t batchIndex, const CsrGraph& state) const {
+        EdgeBatch out;
+        const count bound = state.upperNodeIdBound();
+        for (count i = 0; i < config_.opsPerBatch; ++i) {
+            SplitMix64 rng = Random::forStream(
+                config_.seed ^ (batchIndex * 0x9e3779b97f4a7c15ULL + i));
+            if (Random::real(rng) < config_.insertFraction) {
+                const node u = skewedNode(rng);
+                const node v = Random::real(rng) < config_.selfLoopFraction
+                                   ? u
+                                   : skewedNode(rng);
+                const auto w = static_cast<edgeweight>(
+                    1 + Random::integer(rng, config_.maxWeight));
+                out.insert(u, v, w);
+            } else if (bound > 0 &&
+                       Random::real(rng) >= config_.blindRemoveFraction) {
+                // Sample an existing edge: skewed endpoint, then retry a
+                // few times for a non-empty row (bounded so generation
+                // stays O(1) per op even on sparse states).
+                node u = static_cast<node>(
+                    Random::integer(rng, static_cast<std::uint64_t>(bound)));
+                for (int attempt = 0; attempt < 8 && state.degree(u) == 0;
+                     ++attempt) {
+                    u = static_cast<node>(Random::integer(
+                        rng, static_cast<std::uint64_t>(bound)));
+                }
+                if (state.degree(u) == 0) {
+                    out.remove(u, skewedNode(rng)); // blind after all
+                } else {
+                    const auto j = static_cast<index>(
+                        Random::integer(rng, state.degree(u)));
+                    out.remove(u, state.getIthNeighbor(u, j));
+                }
+            } else {
+                out.remove(skewedNode(rng), skewedNode(rng));
+            }
+        }
+        return out;
+    }
+
+private:
+    node skewedNode(SplitMix64& rng) const {
+        const double r = Random::real(rng);
+        const double x =
+            config_.skew <= 0.0 ? r : std::pow(r, 1.0 + config_.skew);
+        auto id = static_cast<count>(x * static_cast<double>(config_.nodes));
+        if (id >= config_.nodes) id = config_.nodes - 1;
+        return static_cast<node>(id);
+    }
+
+    StreamWorkloadConfig config_;
+};
+
+} // namespace grapr::testing

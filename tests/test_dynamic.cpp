@@ -291,6 +291,67 @@ TEST(DynamicPlm, LocalizedWork) {
     EXPECT_LT(dynamic.lastUpdateWork(), g.numberOfNodes() / 10);
 }
 
+TEST(DynamicPlp, WarmRerunSeedsFromPriorPartition) {
+    // A second run() must NOT reset to singletons: it re-detects warm,
+    // seeded from the prior labels, and absorbs mutations that were never
+    // notified through onEdgeInsert/onEdgeRemove.
+    Random::setSeed(170);
+    PlantedPartitionGenerator gen(600, 6, 0.25, 0.005);
+    Graph g = gen.generate();
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    // Mutate behind the detector's back, then warm re-run.
+    for (int step = 0; step < 150; ++step) {
+        const node u = static_cast<node>(Random::integer(600));
+        const node v = static_cast<node>(Random::integer(600));
+        if (u == v) continue;
+        if (g.hasEdge(u, v)) {
+            g.removeEdge(u, v);
+        } else {
+            g.addEdge(u, v);
+        }
+    }
+    dynamic.run(g);
+
+    EXPECT_TRUE(dynamic.communities().isComplete());
+    Random::setSeed(171);
+    const Partition fromScratch = Plp().run(g);
+    const double qWarm = Modularity().getQuality(dynamic.communities(), g);
+    const double qScratch = Modularity().getQuality(fromScratch, g);
+    EXPECT_GT(qWarm, qScratch - 0.05);
+}
+
+TEST(DynamicPlp, WarmRerunAbsorbsUnnotifiedGrowth) {
+    Random::setSeed(172);
+    Graph g = SimpleGraphs::clique(6);
+    DynamicPlp dynamic;
+    dynamic.run(g);
+
+    // Grow the graph without any onNodeAdd/onEdgeInsert notification; the
+    // warm run must grow its state instead of indexing out of bounds.
+    const node a = g.addNode();
+    const node b = g.addNode();
+    g.addEdge(a, b);
+    g.addEdge(a, 0);
+    dynamic.run(g);
+    EXPECT_TRUE(dynamic.communities().isComplete());
+    EXPECT_EQ(dynamic.communities().numberOfElements(),
+              g.upperNodeIdBound());
+}
+
+TEST(DynamicPlp, ResetForcesColdStart) {
+    Random::setSeed(173);
+    Graph g = SimpleGraphs::clique(5);
+    DynamicPlp dynamic;
+    dynamic.run(g);
+    dynamic.reset();
+    // After reset the detector is back in the never-ran state.
+    EXPECT_THROW(dynamic.onEdgeInsert(g, 0, 1), std::runtime_error);
+    dynamic.run(g); // cold run from scratch works again
+    EXPECT_TRUE(dynamic.communities().isComplete());
+}
+
 TEST(DynamicPlm, WeightedUpdates) {
     Graph g(4, true);
     g.addEdge(0, 1, 4.0);
@@ -304,4 +365,79 @@ TEST(DynamicPlm, WeightedUpdates) {
     g.increaseWeight(1, 2, 20.0);
     dynamic.onEdgeInsert(g, 1, 2, 20.0);
     EXPECT_EQ(dynamic.communities()[1], dynamic.communities()[2]);
+}
+
+TEST(DynamicPlm, WarmRerunSeedsFromPriorPartition) {
+    Random::setSeed(217);
+    PlantedPartitionGenerator gen(600, 6, 0.25, 0.005);
+    Graph g = gen.generate();
+    DynamicPlm dynamic;
+    dynamic.run(g);
+
+    // Unnotified churn, then a warm re-run: volumes and ω(E) are rebuilt
+    // for the mutated graph, the prior community ids survive as the seed.
+    for (int step = 0; step < 150; ++step) {
+        const node u = static_cast<node>(Random::integer(600));
+        const node v = static_cast<node>(Random::integer(600));
+        if (u == v) continue;
+        if (g.hasEdge(u, v)) {
+            g.removeEdge(u, v);
+        } else {
+            g.addEdge(u, v);
+        }
+    }
+    dynamic.run(g);
+
+    EXPECT_TRUE(dynamic.communities().isComplete());
+    Random::setSeed(218);
+    const Partition fromScratch = Plm().run(g);
+    const double qWarm = Modularity().getQuality(dynamic.communities(), g);
+    const double qScratch = Modularity().getQuality(fromScratch, g);
+    EXPECT_GT(qWarm, qScratch - 0.05);
+}
+
+TEST(DynamicPlm, NodeAddThenAttachment) {
+    Random::setSeed(219);
+    Graph g = SimpleGraphs::clique(6);
+    DynamicPlm dynamic;
+    dynamic.run(g);
+
+    const node fresh = g.addNode();
+    dynamic.onNodeAdd(fresh);
+    // The isolated node sits in its own (empty-volume) community.
+    EXPECT_TRUE(dynamic.communities().isComplete());
+
+    g.addEdge(fresh, 0, 1.0);
+    g.addEdge(fresh, 1, 1.0);
+    dynamic.onEdgeInsert(g, fresh, 0);
+    dynamic.onEdgeInsert(g, fresh, 1);
+    // Two links into the clique: it must join the clique's community.
+    EXPECT_EQ(dynamic.communities()[fresh], dynamic.communities()[0]);
+}
+
+TEST(DynamicPlm, UnnotifiedGrowthDoesNotCorruptVolumes) {
+    // The historical failure mode: an edge to a node the detector never
+    // saw indexed communityVolume_ out of bounds. growToBound() now runs
+    // at the top of every notification.
+    Random::setSeed(220);
+    Graph g = SimpleGraphs::clique(6);
+    DynamicPlm dynamic;
+    dynamic.run(g);
+
+    const node fresh = g.addNode(); // NOT notified via onNodeAdd
+    g.addEdge(fresh, 0, 1.0);
+    EXPECT_NO_THROW(dynamic.onEdgeInsert(g, fresh, 0));
+    EXPECT_TRUE(dynamic.communities().isComplete());
+}
+
+TEST(DynamicPlm, ResetForcesColdStart) {
+    Random::setSeed(221);
+    Graph g = SimpleGraphs::clique(5);
+    DynamicPlm dynamic;
+    dynamic.run(g);
+    dynamic.reset();
+    EXPECT_THROW(dynamic.onEdgeInsert(g, 0, 1), std::runtime_error);
+    EXPECT_THROW(dynamic.onNodeAdd(7), std::runtime_error);
+    dynamic.run(g);
+    EXPECT_TRUE(dynamic.communities().isComplete());
 }

@@ -1,0 +1,316 @@
+// Snapshot-isolation enforcement tests for the streaming engine
+// (graph/stream_engine) under GRAPR_VIEW_CHECK.
+//
+// The reader-pinning contract: a borrowed StreamView is valid only until
+// the next publish; a pinned snapshot (SnapshotPtr) is valid for as long
+// as it is held. The stale-view fixture must abort the process, so — like
+// test_race_check.cpp and test_view_check.cpp — this binary has a custom
+// main() that re-execs itself (via /proc/self/exe) with
+// GRAPR_STREAM_FIXTURE set, runs the named fixture instead of the test
+// suite, and lets the parent assert on the child's exit status and stderr:
+// the abort report must name BOTH the view-acquisition site and the
+// publish site (both in this file).
+//
+// Every re-exec test is a GTEST_SKIP no-op when the build does not define
+// GRAPR_VIEW_CHECK — the binary still builds and runs in plain builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "generators/planted_partition.hpp"
+#include "graph/graph_log.hpp"
+#include "graph/stream_engine.hpp"
+#include "support/random.hpp"
+#include "support/stream_workload.hpp"
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define GRAPR_CAN_REEXEC 1
+#else
+#define GRAPR_CAN_REEXEC 0
+#endif
+
+namespace {
+
+using namespace grapr;
+using grapr::testing::StreamWorkload;
+using grapr::testing::StreamWorkloadConfig;
+
+// Child exit codes for fixture runs (distinct from gtest's 0/1).
+constexpr int kFixtureSurvived = 0;  // fixture ran to completion
+constexpr int kFixtureUnknown = 98;  // unrecognised fixture name or state
+
+StreamingGraph makeEngine() {
+    Random::setSeed(7100);
+    Graph g = PlantedPartitionGenerator(400, 8, 0.25, 0.01).generate();
+    return StreamingGraph(g);
+}
+
+EdgeBatch effectiveBatch(const CsrGraph& state) {
+    // One definitely-net-effective op: toggle edge {0, 1}.
+    EdgeBatch batch;
+    if (csrEdgeWeight(state, 0, 1).has_value()) {
+        batch.remove(0, 1);
+    } else {
+        batch.insert(0, 1);
+    }
+    return batch;
+}
+
+// Take a borrowed view, publish a new generation, read through the view.
+// In a GRAPR_VIEW_CHECK build the read must abort, reporting where the
+// view was taken and where the publish happened; surviving to the return
+// statement means the engine's generation stamp failed to fire.
+int runStaleViewFixture() {
+    StreamingGraph engine = makeEngine();
+    const StreamView view = engine.current();            // acquisition site
+    engine.apply(effectiveBatch(view.graph()));          // publish site
+    return view.graph().numberOfEdges() > 0 ? kFixtureSurvived
+                                            : kFixtureUnknown; // stale read
+}
+
+// The legal side of the contract: pinned snapshots survive any number of
+// publishes bit-identically, a borrowed view is fine until (and only
+// until) the next publish, and a fresh view taken after a publish reads
+// the new generation. Must run to completion, also with the stamp armed.
+int runPinnedReaderFixture() {
+    StreamingGraph engine = makeEngine();
+    const SnapshotPtr pinned = engine.pin();
+    const count pinnedEdges = pinned->graph.numberOfEdges();
+
+    {
+        // Borrowed view consumed entirely before the publish: legal.
+        const StreamView view = engine.current();
+        if (view.graph().numberOfEdges() != pinnedEdges) {
+            return kFixtureUnknown;
+        }
+    }
+
+    StreamWorkloadConfig cfg;
+    cfg.nodes = 400;
+    cfg.opsPerBatch = 64;
+    cfg.seed = 7101;
+    const StreamWorkload workload(cfg);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        engine.apply(workload.batch(i, engine.pin()->graph),
+                     StreamApplyMode::Permissive);
+    }
+
+    // The pinned generation is immortal while held: same object, same
+    // counts, readable without tripping any stamp.
+    if (pinned->generation != 0) return kFixtureUnknown;
+    if (pinned->graph.numberOfEdges() != pinnedEdges) return kFixtureUnknown;
+
+    // A view taken after the publishes reads the *current* generation.
+    const StreamView fresh = engine.current();
+    return fresh.generation() == engine.generation() ? kFixtureSurvived
+                                                     : kFixtureUnknown;
+}
+
+// Pinned readers racing a publishing writer with the stamp armed: no
+// false positives — pin() must never abort, no matter how the publishes
+// interleave with the reads.
+int runConcurrentPinsFixture() {
+    StreamingGraph engine = makeEngine();
+    StreamWorkloadConfig cfg;
+    cfg.nodes = 400;
+    cfg.opsPerBatch = 96;
+    cfg.seed = 7102;
+    const StreamWorkload workload(cfg);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> ok{true};
+    std::thread writer([&] {
+        for (std::uint64_t i = 0; i < 30; ++i) {
+            engine.apply(workload.batch(i, engine.pin()->graph),
+                         StreamApplyMode::Permissive);
+        }
+        done.store(true, std::memory_order_release);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire)) {
+                const SnapshotPtr snap = engine.pin();
+                const count edges = snap->graph.numberOfEdges();
+                // Re-read through the same pin: must be stable.
+                if (snap->graph.numberOfEdges() != edges) {
+                    ok.store(false, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    writer.join();
+    for (std::thread& t : readers) t.join();
+    return ok.load() ? kFixtureSurvived : kFixtureUnknown;
+}
+
+int runFixture(const char* name) {
+    if (std::strcmp(name, "stale") == 0) return runStaleViewFixture();
+    if (std::strcmp(name, "pinned") == 0) return runPinnedReaderFixture();
+    if (std::strcmp(name, "concurrent") == 0) {
+        return runConcurrentPinsFixture();
+    }
+    return kFixtureUnknown;
+}
+
+#if GRAPR_CAN_REEXEC && defined(GRAPR_VIEW_CHECK)
+
+struct ChildResult {
+    bool spawned = false;
+    bool signalled = false;
+    int signal = 0;
+    int exitCode = -1;
+    std::string output; // child stderr
+};
+
+// Re-exec this binary with GRAPR_STREAM_FIXTURE=<fixture>, capturing the
+// child's stderr so the parent can assert on the stale-view report.
+ChildResult runSelfFixture(const char* fixture) {
+    ChildResult result;
+    char exe[4096];
+    const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len <= 0) return result;
+    exe[len] = '\0';
+
+    char logPath[] = "/tmp/grapr_stream_isolation_XXXXXX";
+    const int logFd = ::mkstemp(logPath);
+    if (logFd < 0) return result;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(logFd);
+        ::unlink(logPath);
+        return result;
+    }
+    if (pid == 0) {
+        ::setenv("GRAPR_STREAM_FIXTURE", fixture, 1);
+        ::setenv("OMP_NUM_THREADS", "4", 1);
+        ::dup2(logFd, 2);
+        ::close(logFd);
+        ::execl(exe, exe, static_cast<char*>(nullptr));
+        ::_exit(127);
+    }
+    ::close(logFd);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        ::unlink(logPath);
+        return result;
+    }
+    result.spawned = true;
+    if (WIFSIGNALED(status)) {
+        result.signalled = true;
+        result.signal = WTERMSIG(status);
+    } else if (WIFEXITED(status)) {
+        result.exitCode = WEXITSTATUS(status);
+    }
+    std::ifstream log(logPath);
+    std::ostringstream text;
+    text << log.rdbuf();
+    result.output = text.str();
+    ::unlink(logPath);
+    return result;
+}
+
+#endif // GRAPR_CAN_REEXEC && GRAPR_VIEW_CHECK
+
+} // namespace
+
+#ifndef GRAPR_VIEW_CHECK
+
+TEST(StreamIsolation, RequiresInstrumentedBuild) {
+    GTEST_SKIP() << "built without GRAPR_VIEW_CHECK; configure with "
+                    "-DGRAPR_VIEW_CHECK=ON to run the snapshot-isolation "
+                    "enforcement tests";
+}
+
+#else // GRAPR_VIEW_CHECK
+
+TEST(StreamIsolation, StaleViewAbortsAcrossPublishBoundary) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("stale");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_TRUE(child.signalled)
+        << "stale-view fixture ran to completion (exit " << child.exitCode
+        << ") — the engine's generation stamp failed to detect a borrowed "
+           "view crossing the publish boundary";
+    EXPECT_EQ(child.signal, SIGABRT);
+    // The report must carry both ends: where the view was taken and where
+    // the publish happened — both in this file.
+    EXPECT_NE(child.output.find("VIEW-LIFECYCLE VIOLATION"),
+              std::string::npos)
+        << "abort report missing; child stderr was:\n"
+        << child.output;
+    EXPECT_NE(child.output.find("view frozen at"), std::string::npos);
+    EXPECT_NE(child.output.find("source mutated at"), std::string::npos);
+    const std::string site = "test_stream_isolation.cpp";
+    const std::size_t first = child.output.find(site);
+    ASSERT_NE(first, std::string::npos)
+        << "acquisition site not attributed to this file; stderr was:\n"
+        << child.output;
+    EXPECT_NE(child.output.find(site, first + site.size()),
+              std::string::npos)
+        << "publish site not attributed to this file; stderr was:\n"
+        << child.output;
+#endif
+}
+
+TEST(StreamIsolation, PinnedReadersSurvivePublishes) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("pinned");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_FALSE(child.signalled)
+        << "pinned-reader lifecycle tripped the stamp (signal "
+        << child.signal << "); stderr was:\n"
+        << child.output;
+    EXPECT_EQ(child.exitCode, kFixtureSurvived);
+#endif
+}
+
+TEST(StreamIsolation, ConcurrentPinsAreNotFalsePositives) {
+#if !GRAPR_CAN_REEXEC
+    GTEST_SKIP() << "re-exec harness needs /proc/self/exe";
+#else
+    const ChildResult child = runSelfFixture("concurrent");
+    ASSERT_TRUE(child.spawned) << "could not re-exec the test binary";
+    EXPECT_FALSE(child.signalled)
+        << "racing pinned readers tripped the stamp (signal "
+        << child.signal << "); stderr was:\n"
+        << child.output;
+    EXPECT_EQ(child.exitCode, kFixtureSurvived);
+#endif
+}
+
+TEST(StreamIsolation, FreshViewAfterPublishIsValid) {
+    // In-process check: the bump invalidates only views taken BEFORE the
+    // publish; acquiring after is the documented recovery.
+    StreamingGraph engine = makeEngine();
+    engine.apply(effectiveBatch(engine.pin()->graph));
+    const StreamView view = engine.current();
+    EXPECT_EQ(view.generation(), engine.generation());
+    EXPECT_GT(view.graph().numberOfNodes(), 0u);
+}
+
+#endif // GRAPR_VIEW_CHECK
+
+int main(int argc, char** argv) {
+    if (const char* fixture = std::getenv("GRAPR_STREAM_FIXTURE")) {
+        return runFixture(fixture);
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

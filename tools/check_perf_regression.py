@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: compare a fresh micro_plm_kernels run against the
-committed BENCH_plm.json.
+"""Perf-smoke gate: compare a fresh bench JSON against the committed one.
 
-The committed file records the tuned-vs-baseline move-phase speedup per
-instance; a fresh --quick run measures the shared anchor instance
-(rmat_s13) on whatever machine CI happens to give us. Absolute times are
-not comparable across machines, but the SPEEDUP is a within-run ratio of
-two interleaved measurements on the same box, so it transfers: if the
-tuned kernel's ratio collapses relative to the committed record, a perf
-regression (or a broken variant wiring) slipped in.
+Both files carry an ``instances`` list of per-instance metric objects; the
+gate compares one or more named metrics on the instances the two files
+share (CI measures only the quick anchor, e.g. rmat_s13, while the
+committed file also records the full-size instances).
 
-Exit 0 when every shared instance's fresh speedup is within --tolerance
-(default 15%) of the committed one, 1 otherwise.  Usage:
+Absolute times are not comparable across machines, but within-run RATIOS
+(``speedup_tuned_vs_baseline``, ``speedup_batch_vs_rebuild``) transfer:
+two interleaved measurements on the same box divide out the machine. Gate
+those with a tight tolerance. Absolute rates (``updates_per_sec``) only
+get a loose floor that catches order-of-magnitude collapses.
+
+Each ``--metric`` is ``NAME`` or ``NAME:TOLERANCE`` (allowed relative
+loss, default --tolerance). With no --metric the historical default
+``speedup_tuned_vs_baseline`` is checked — the BENCH_plm.json contract.
+Exit 0 when every shared instance's fresh value is within tolerance of
+the committed one, 1 otherwise.  Usage:
 
     micro_plm_kernels --quick            # writes ./BENCH_plm.json
     python3 tools/check_perf_regression.py \
         --committed BENCH_plm.json --fresh build/bench/BENCH_plm.json
+
+    micro_stream --quick                 # writes ./BENCH_stream.json
+    python3 tools/check_perf_regression.py \
+        --committed BENCH_stream.json --fresh build/bench/BENCH_stream.json \
+        --metric speedup_batch_vs_rebuild:0.5 --metric updates_per_sec:0.9
 """
 
 import argparse
@@ -23,50 +33,71 @@ import json
 import sys
 
 
-def load_speedups(path):
+def load_metric(path, metric):
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     return {
-        inst["name"]: inst["speedup_tuned_vs_baseline"]
+        inst["name"]: inst[metric]
         for inst in data.get("instances", [])
+        if metric in inst
     }
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Fail if the tuned move-phase speedup regressed "
-        "relative to the committed BENCH_plm.json."
-    )
-    parser.add_argument("--committed", required=True,
-                        help="BENCH_plm.json committed in the repository")
-    parser.add_argument("--fresh", required=True,
-                        help="BENCH_plm.json from a fresh (quick) run")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed relative speedup loss (default 0.15)")
-    args = parser.parse_args()
+def parse_metric_spec(spec, default_tolerance):
+    if ":" in spec:
+        name, tolerance = spec.rsplit(":", 1)
+        return name, float(tolerance)
+    return spec, default_tolerance
 
-    committed = load_speedups(args.committed)
-    fresh = load_speedups(args.fresh)
+
+def check_metric(committed_path, fresh_path, metric, tolerance):
+    committed = load_metric(committed_path, metric)
+    fresh = load_metric(fresh_path, metric)
 
     shared = sorted(set(committed) & set(fresh))
     if not shared:
         print(
-            "check_perf_regression: no shared instances between "
-            f"{args.committed} ({sorted(committed)}) and "
-            f"{args.fresh} ({sorted(fresh)})",
+            f"check_perf_regression: metric '{metric}' has no shared "
+            f"instances between {committed_path} ({sorted(committed)}) "
+            f"and {fresh_path} ({sorted(fresh)})",
             file=sys.stderr,
         )
-        return 1
+        return True
 
     failed = False
     for name in shared:
-        floor = committed[name] * (1.0 - args.tolerance)
+        floor = committed[name] * (1.0 - tolerance)
         status = "ok" if fresh[name] >= floor else "REGRESSED"
         print(
-            f"{name}: committed speedup {committed[name]:.2f}x, "
-            f"fresh {fresh[name]:.2f}x, floor {floor:.2f}x -> {status}"
+            f"{name}.{metric}: committed {committed[name]:.3g}, "
+            f"fresh {fresh[name]:.3g}, floor {floor:.3g} -> {status}"
         )
         failed |= fresh[name] < floor
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail if a bench metric regressed relative to the "
+        "committed BENCH_*.json."
+    )
+    parser.add_argument("--committed", required=True,
+                        help="BENCH_*.json committed in the repository")
+    parser.add_argument("--fresh", required=True,
+                        help="BENCH_*.json from a fresh (quick) run")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="default allowed relative loss (default 0.15)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="NAME[:TOLERANCE]",
+                        help="per-instance metric to gate on; repeatable. "
+                        "Default: speedup_tuned_vs_baseline")
+    args = parser.parse_args()
+
+    specs = args.metric or ["speedup_tuned_vs_baseline"]
+    failed = False
+    for spec in specs:
+        name, tolerance = parse_metric_spec(spec, args.tolerance)
+        failed |= check_metric(args.committed, args.fresh, name, tolerance)
     return 1 if failed else 0
 
 
