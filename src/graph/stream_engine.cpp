@@ -2,14 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdint>
+#include <filesystem>
+#include <system_error>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 
 #include <omp.h>
 
+#include "graph/wal.hpp"
+#include "io/binary_csr.hpp"
+#include "io/io_error.hpp"
 #include "structures/delta_csr.hpp"
+#include "support/fault.hpp"
 #include "support/parallel.hpp"
 
 namespace grapr {
@@ -66,7 +73,102 @@ void requireSortedRows(const CsrGraph& g) {
             "strictly ascending (call Graph::sortNeighborLists first)");
 }
 
+// --- durable-directory layout ---------------------------------------------
+// dir/checkpoint-<gen, zero-padded to 20 digits>.gcsr
+// dir/wal-<gen>.gwal   (records replaying against checkpoint <gen>)
+
+std::string paddedGeneration(std::uint64_t generation) {
+    std::string digits = std::to_string(generation);
+    return std::string(20 - digits.size(), '0') + digits;
+}
+
+std::string checkpointPath(const std::string& dir, std::uint64_t generation) {
+    return dir + "/checkpoint-" + paddedGeneration(generation) + ".gcsr";
+}
+
+std::string walSegmentPath(const std::string& dir, std::uint64_t generation) {
+    return dir + "/wal-" + paddedGeneration(generation) + ".gwal";
+}
+
+/// Parse "<prefix><digits><suffix>" file names; nullopt on anything else.
+std::optional<std::uint64_t> parseTaggedName(const std::string& name,
+                                             const std::string& prefix,
+                                             const std::string& suffix) {
+    if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+    if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+        return std::nullopt;
+    }
+    const std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    std::uint64_t generation = 0;
+    for (const char c : digits) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+            return std::nullopt;
+        }
+        generation = generation * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return generation;
+}
+
+/// Checkpoints in `dir`, newest generation first.
+std::vector<std::pair<std::uint64_t, std::string>>
+listCheckpoints(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        throw io::IoError(dir, 0, 0,
+                          "recover: cannot list durable directory: " +
+                              ec.message());
+    }
+    for (const fs::directory_entry& entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (const auto generation =
+                parseTaggedName(name, "checkpoint-", ".gcsr")) {
+            out.emplace_back(*generation, entry.path().string());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    return out;
+}
+
+/// Best-effort removal of everything superseded by checkpoint
+/// `keepGeneration` (older checkpoints/segments, stray temp files).
+void pruneDurableDir(const std::string& dir, std::uint64_t keepGeneration) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) return;
+    for (const fs::directory_entry& entry : it) {
+        const std::string name = entry.path().filename().string();
+        bool stale = name.size() > 4 &&
+                     name.compare(name.size() - 4, 4, ".tmp") == 0;
+        if (const auto g = parseTaggedName(name, "checkpoint-", ".gcsr")) {
+            stale = *g < keepGeneration;
+        } else if (const auto g = parseTaggedName(name, "wal-", ".gwal")) {
+            stale = *g < keepGeneration;
+        }
+        if (stale) {
+            std::error_code removeEc;
+            fs::remove(entry.path(), removeEc);
+        }
+    }
+}
+
 } // namespace
+
+/// Durable-mode state: the directory, the open WAL segment, and the
+/// record count since the last checkpoint (drives rotation).
+struct StreamingGraph::Durability {
+    std::string dir;
+    DurabilityOptions options;
+    wal::WalWriter wal;
+    count sinceCheckpoint = 0;
+};
 
 std::optional<edgeweight> csrEdgeWeight(const CsrGraph& g, node u, node v) {
     const count bound = g.upperNodeIdBound();
@@ -106,6 +208,172 @@ StreamingGraph::StreamingGraph(CsrGraph initial)
     head_ = std::move(snap);
 }
 
+StreamingGraph::StreamingGraph(const std::string& dir,
+                               DurabilityOptions options) {
+    // 1. Newest checkpoint that validates (older ones are the fallback
+    //    when the newest is damaged — e.g. bit rot after a clean rename).
+    const auto checkpoints = listCheckpoints(dir);
+    if (checkpoints.empty()) {
+        throw io::IoError(dir, 0, 0,
+                          "recover: no checkpoint in durable directory");
+    }
+    std::optional<io::BinaryCsrSnapshot> loaded;
+    std::string lastError;
+    for (const auto& [generation, path] : checkpoints) {
+        try {
+            loaded = io::readBinaryCsr(path);
+            break;
+        } catch (const io::IoError& e) {
+            lastError = e.what();
+        }
+    }
+    if (!loaded) {
+        throw io::IoError(dir, 0, 0,
+                          "recover: no checkpoint validates (last error: " +
+                              lastError + ")");
+    }
+    weighted_ = loaded->graph.isWeighted();
+    requireSortedRows(loaded->graph);
+    auto snap = std::make_shared<StreamSnapshot>();
+    snap->generation = loaded->generation;
+    snap->graph = rewrapDisengaged(loaded->graph, weighted_);
+    head_ = std::move(snap);
+
+    // 2. Replay the matching WAL tail in Strict mode. Records are net
+    //    batches, so the replay reproduces each generation bit for bit;
+    //    a torn trailing record (crash mid-append) is truncated at the
+    //    first CRC/length mismatch, never misparsed. A segment whose
+    //    HEADER is torn means the crash hit segment creation — nothing
+    //    was ever acknowledged through it, so the checkpoint alone is
+    //    the recovered state.
+    const std::string segment = walSegmentPath(dir, loaded->generation);
+    std::error_code existsEc;
+    if (std::filesystem::exists(segment, existsEc)) {
+        wal::ReplayResult tail;
+        bool headerValid = true;
+        try {
+            tail = wal::replay(segment, /*truncateTorn=*/true);
+        } catch (const io::IoError&) {
+            headerValid = false;
+        }
+        if (headerValid && !tail.records.empty()) {
+            require(tail.baseGeneration == loaded->generation,
+                    "recover: WAL segment does not match its checkpoint "
+                    "generation");
+            for (const wal::WalRecord& record : tail.records) {
+                const BatchResult replayed =
+                    apply(record.batch, StreamApplyMode::Strict);
+                require(replayed.generation == record.generation,
+                        "recover: WAL replay diverged from the logged "
+                        "generation sequence");
+            }
+        }
+    }
+
+    // 3. Make the recovered state the new durable base: fresh checkpoint,
+    //    fresh segment, superseded files pruned. Bounds the next
+    //    recovery's replay and makes recover() idempotent.
+    enableDurability(dir, options);
+}
+
+StreamingGraph StreamingGraph::recover(const std::string& dir,
+                                       DurabilityOptions options) {
+    return StreamingGraph(dir, options);
+}
+
+StreamingGraph::~StreamingGraph() = default;
+
+void StreamingGraph::enableDurability(const std::string& dir,
+                                      DurabilityOptions options) {
+    std::lock_guard<std::mutex> writerLock(writerMutex_);
+    require(durable_ == nullptr,
+            "StreamingGraph::enableDurability: already durable");
+    if (poisoned_) {
+        fail("StreamingGraph::enableDurability: engine is poisoned (" +
+             poisonReason_ + ")");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        throw io::IoError(dir, 0, 0,
+                          "cannot create durable directory: " + ec.message());
+    }
+    auto durable = std::make_unique<Durability>();
+    durable->dir = dir;
+    durable->options = options;
+    if (durable->options.groupCommit == 0) durable->options.groupCommit = 1;
+    if (durable->options.checkpointInterval == 0) {
+        durable->options.checkpointInterval = 1;
+    }
+    durable_ = std::move(durable);
+    try {
+        checkpointNow();
+    } catch (...) {
+        durable_.reset(); // never half-durable: the caller may retry
+        throw;
+    }
+}
+
+void StreamingGraph::checkpoint() {
+    std::lock_guard<std::mutex> writerLock(writerMutex_);
+    require(durable_ != nullptr,
+            "StreamingGraph::checkpoint: enable durability first");
+    if (poisoned_) {
+        fail("StreamingGraph::checkpoint: engine is poisoned (" +
+             poisonReason_ + ")");
+    }
+    checkpointNow();
+}
+
+void StreamingGraph::checkpointNow() {
+    const SnapshotPtr snap = pin();
+    io::writeBinaryCsr(snap->graph, snap->generation,
+                       checkpointPath(durable_->dir, snap->generation));
+    // Rotate only after the checkpoint is durable; if opening the new
+    // segment fails, the old writer (and the old checkpoint) are intact.
+    wal::WalWriter next(walSegmentPath(durable_->dir, snap->generation),
+                        snap->generation, durable_->options.groupCommit);
+    durable_->wal = std::move(next); // closes the superseded segment
+    durable_->sinceCheckpoint = 0;
+    if (durable_->options.pruneOnCheckpoint) {
+        pruneDurableDir(durable_->dir, snap->generation);
+    }
+}
+
+void StreamingGraph::maybeCheckpoint() {
+    if (durable_ == nullptr ||
+        durable_->sinceCheckpoint < durable_->options.checkpointInterval) {
+        return;
+    }
+    try {
+        checkpointNow();
+    } catch (const std::exception&) {
+        // Contained: the batch that triggered rotation is already
+        // committed AND logged — the previous checkpoint plus the full
+        // segment still recover it. Rotation is retried on the next
+        // apply() (sinceCheckpoint keeps counting). Explicit
+        // checkpoint() calls do rethrow.
+    }
+}
+
+void StreamingGraph::poison(const std::string& reason) {
+    poisoned_ = true;
+    poisonReason_ = reason;
+}
+
+void StreamingGraph::appendToWal(const EdgeBatch& net,
+                                 std::uint64_t generation) {
+    try {
+        durable_->wal.append(net, generation);
+    } catch (...) {
+        if (durable_->wal.poisoned()) {
+            poison("WAL rollback failed; the on-disk log tail is unknown");
+        }
+        throw;
+    }
+    ++durable_->sinceCheckpoint;
+}
+
 std::uint64_t StreamingGraph::generation() const {
     return pin()->generation;
 }
@@ -131,6 +399,11 @@ void StreamingGraph::publish(SnapshotPtr next) {
 BatchResult StreamingGraph::apply(const EdgeBatch& batch,
                                   StreamApplyMode mode GRAPR_VIEW_SITE_ARG) {
     std::lock_guard<std::mutex> writerLock(writerMutex_);
+    if (poisoned_) {
+        fail("StreamingGraph::apply: engine is poisoned after a failed "
+             "commit (" + poisonReason_ + "); recover() from the durable "
+             "directory or start a fresh engine");
+    }
     const SnapshotPtr base = pin();
     const CsrGraph& g = base->graph;
     const count oldBound = g.upperNodeIdBound();
@@ -302,17 +575,39 @@ BatchResult StreamingGraph::apply(const EdgeBatch& batch,
                       static_cast<std::ptrdiff_t>(delta.delOffsets[v + 1]));
     }
 
-    // --- assemble generation N+1 in parallel, then publish ----------------
+    // --- assemble generation N+1 in parallel, then log, then publish ------
     // Readers keep serving `base` throughout: applyDelta only reads it.
     CsrGraph next = applyDelta(g, delta, weighted_);
     auto snap = std::make_shared<StreamSnapshot>();
     snap->generation = base->generation + 1;
     snap->graph = std::move(next);
     result.generation = snap->generation;
-    publish(std::move(snap));
+
+    if (durable_ != nullptr) {
+        // WAL-first: the NET batch (removes, then inserts — replayable
+        // in Strict mode against the base snapshot) must be durable
+        // before the generation becomes visible. A failed append rolls
+        // the log back and leaves the engine on `base` (strong
+        // guarantee); a failed rollback poisons the engine instead.
+        EdgeBatch net;
+        for (const NetEdge& e : netDel) net.remove(e.a, e.b);
+        for (const NetEdge& e : netIns) net.insert(e.a, e.b, e.w);
+        appendToWal(net, snap->generation);
+    }
+    try {
+        GRAPR_FAULT_POINT("engine.publish");
+        publish(std::move(snap));
+    } catch (...) {
+        // Past the WAL fsync the commit may no longer fail softly: the
+        // log has the record, memory does not. Poison; recovery replays
+        // the logged batch into the consistent state.
+        poison("commit interrupted between WAL append and publish");
+        throw;
+    }
     // Borrowed views of generation N are stale from this point on; the
     // bump records the publish site for the GRAPR_VIEW_CHECK report.
     GRAPR_VIEW_BUMP(stamp_);
+    maybeCheckpoint();
     return result;
 }
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
@@ -100,6 +101,22 @@ struct BatchResult {
     std::vector<node> touched;
 };
 
+/// Tuning of a durable (WAL + checkpoint) engine. See DESIGN.md
+/// "Durability, recovery, and fault injection".
+struct DurabilityOptions {
+    /// fsync cadence of the WAL: 1 syncs every commit (strict
+    /// durability); N > 1 group-commits, syncing every Nth record — a
+    /// crash may lose up to the last N-1 acknowledged batches, never
+    /// consistency.
+    count groupCommit = 1;
+    /// Write a checkpoint and rotate the log after this many WAL
+    /// records (bounds recovery replay time and log length).
+    count checkpointInterval = 256;
+    /// Delete superseded checkpoints and segments after a successful
+    /// rotation (keep them for forensics by setting this to false).
+    bool pruneOnCheckpoint = true;
+};
+
 class StreamingGraph {
 public:
     /// Freeze `initial` as generation 0. The adjacency is copied and
@@ -111,6 +128,49 @@ public:
     /// Start from an already-frozen snapshot whose rows must be sorted
     /// ascending (e.g. from io::parallel ingestion, which sorts rows).
     explicit StreamingGraph(CsrGraph initial);
+
+    /// Recovery constructor: rebuild the engine from durable directory
+    /// `dir` — load the newest checkpoint that validates, replay the
+    /// matching WAL tail in Strict mode (truncating a torn trailing
+    /// record at the first CRC/length mismatch), then write a fresh
+    /// checkpoint and stay durable in `dir`. Throws io::IoError when the
+    /// directory holds no valid checkpoint.
+    explicit StreamingGraph(const std::string& dir,
+                            DurabilityOptions options = {});
+
+    /// Named alias of the recovery constructor.
+    static StreamingGraph recover(const std::string& dir,
+                                  DurabilityOptions options = {});
+
+    ~StreamingGraph();
+    StreamingGraph(const StreamingGraph&) = delete;
+    StreamingGraph& operator=(const StreamingGraph&) = delete;
+
+    /// Make this engine durable in directory `dir` (created if absent):
+    /// writes a checkpoint of the current generation, then opens a WAL
+    /// segment that every subsequent apply() appends to — CRC-summed and
+    /// fsync'd per DurabilityOptions — BEFORE the generation publishes.
+    void enableDurability(const std::string& dir,
+                          DurabilityOptions options = {});
+
+    bool durable() const noexcept { return durable_ != nullptr; }
+
+    /// Checkpoint the current generation and rotate the WAL now (also
+    /// happens automatically every checkpointInterval records). Throws
+    /// on I/O failure; the previous checkpoint + log stay intact.
+    void checkpoint();
+
+    /// True after a commit failed in a way that left the durable log
+    /// state unknown (e.g. a rollback of a failed append itself failed,
+    /// or a failure hit between the WAL fsync and the publish). A
+    /// poisoned engine rejects every further apply(); recover() from the
+    /// durable directory to resume from the last consistent state.
+    bool failed() const noexcept { return poisoned_; }
+
+    /// Why failed() is true (empty otherwise).
+    const std::string& failureReason() const noexcept {
+        return poisonReason_;
+    }
 
     bool isWeighted() const noexcept { return weighted_; }
 
@@ -140,6 +200,15 @@ public:
 
 private:
     void publish(SnapshotPtr next);
+    void poison(const std::string& reason);
+    void appendToWal(const EdgeBatch& net, std::uint64_t generation);
+    void checkpointNow();   // requires writerMutex_ held and durable()
+    void maybeCheckpoint(); // interval-driven, failures contained
+
+    struct Durability; // wal writer + dir + options (stream_engine.cpp)
+    std::unique_ptr<Durability> durable_;
+    bool poisoned_ = false;
+    std::string poisonReason_;
 
     bool weighted_ = false;
     mutable std::mutex headMutex_; ///< guards head_ (reads and the swap)

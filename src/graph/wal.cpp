@@ -1,0 +1,295 @@
+#include "graph/wal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GRAPR_HAVE_POSIX_SYNC 1
+#endif
+
+#include "io/io_error.hpp"
+#include "io/mapped_file.hpp"
+#include "support/checksum.hpp"
+#include "support/fault.hpp"
+
+namespace grapr::wal {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'W', 'A', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordHeaderBytes = 8;  // payloadBytes + crc
+constexpr std::size_t kPayloadHeaderBytes = 12; // generation + opCount
+constexpr std::size_t kOpBytes = 17;            // kind + u + v + w
+
+void putU32(unsigned char* dst, std::uint32_t v) {
+    std::memcpy(dst, &v, sizeof v);
+}
+void putU64(unsigned char* dst, std::uint64_t v) {
+    std::memcpy(dst, &v, sizeof v);
+}
+std::uint32_t getU32(const unsigned char* src) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, src, sizeof v);
+    return v;
+}
+std::uint64_t getU64(const unsigned char* src) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, src, sizeof v);
+    return v;
+}
+
+std::vector<unsigned char> encode(const EdgeBatch& batch,
+                                  std::uint64_t generation) {
+    require(batch.size() <= 0xffffffffull,
+            "WAL record: batch exceeds 2^32 ops");
+    std::vector<unsigned char> payload(
+        kPayloadHeaderBytes + static_cast<std::size_t>(batch.size()) * kOpBytes);
+    putU64(payload.data(), generation);
+    putU32(payload.data() + 8, static_cast<std::uint32_t>(batch.size()));
+    std::size_t at = kPayloadHeaderBytes;
+    for (const EdgeOp& op : batch.ops()) {
+        payload[at] = op.kind == EdgeOp::Kind::Insert ? 1 : 0;
+        putU32(payload.data() + at + 1, op.u);
+        putU32(payload.data() + at + 5, op.v);
+        std::memcpy(payload.data() + at + 9, &op.w, sizeof op.w);
+        at += kOpBytes;
+    }
+    return payload;
+}
+
+/// Structural decode of one CRC-verified payload. Returns false when the
+/// payload is inconsistent with its own length (treated as torn).
+bool decode(const unsigned char* payload, std::size_t bytes,
+            WalRecord& out) {
+    if (bytes < kPayloadHeaderBytes) return false;
+    out.generation = getU64(payload);
+    const std::uint32_t opCount = getU32(payload + 8);
+    if (bytes != kPayloadHeaderBytes +
+                     static_cast<std::size_t>(opCount) * kOpBytes) {
+        return false;
+    }
+    std::size_t at = kPayloadHeaderBytes;
+    for (std::uint32_t i = 0; i < opCount; ++i) {
+        const unsigned char kind = payload[at];
+        const node u = getU32(payload + at + 1);
+        const node v = getU32(payload + at + 5);
+        edgeweight w = 0.0;
+        std::memcpy(&w, payload + at + 9, sizeof w);
+        if (kind == 1) {
+            out.batch.insert(u, v, w);
+        } else if (kind == 0) {
+            out.batch.remove(u, v);
+        } else {
+            return false;
+        }
+        at += kOpBytes;
+    }
+    return true;
+}
+
+} // namespace
+
+WalWriter::WalWriter(const std::string& path, std::uint64_t baseGeneration,
+                     count groupCommit)
+    : path_(path), groupCommit_(groupCommit > 0 ? groupCommit : 1) {
+    GRAPR_FAULT_POINT("wal.create.open");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+        throw io::IoError(path, 0, 0, "cannot create WAL segment");
+    }
+    // Unbuffered: every fwrite reaches the kernel, so the file's real
+    // length is always the appended prefix and rollback-by-truncate is
+    // exact.
+    std::setvbuf(file_, nullptr, _IONBF, 0);
+    unsigned char header[kHeaderBytes];
+    std::memcpy(header, kMagic, 4);
+    putU32(header + 4, kVersion);
+    putU64(header + 8, baseGeneration);
+    try {
+        GRAPR_FAULT_POINT("wal.create.write");
+        writeAll(header, kHeaderBytes);
+        bytes_ = kHeaderBytes;
+        syncNow(); // a durable (empty) segment exists before any append
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        std::remove(path.c_str());
+        throw;
+    }
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept {
+    *this = std::move(other);
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+    if (this != &other) {
+        close();
+        file_ = std::exchange(other.file_, nullptr);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+        groupCommit_ = other.groupCommit_;
+        bytes_ = std::exchange(other.bytes_, 0);
+        records_ = std::exchange(other.records_, 0);
+        unsynced_ = std::exchange(other.unsynced_, 0);
+        poisoned_ = std::exchange(other.poisoned_, false);
+    }
+    return *this;
+}
+
+WalWriter::~WalWriter() {
+    close();
+}
+
+void WalWriter::writeAll(const unsigned char* data, std::size_t bytes) {
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+        throw io::IoError(path_, 0, bytes_, "WAL write failed (disk full?)");
+    }
+}
+
+void WalWriter::syncNow() {
+    GRAPR_FAULT_POINT("wal.append.fsync");
+#ifdef GRAPR_HAVE_POSIX_SYNC
+    if (::fsync(::fileno(file_)) != 0) {
+        throw io::IoError(path_, 0, bytes_, "WAL fsync failed");
+    }
+#endif
+    unsynced_ = 0;
+}
+
+void WalWriter::append(const EdgeBatch& batch, std::uint64_t generation) {
+    require(isOpen(), "WalWriter::append: no segment open");
+    require(!poisoned_,
+            "WalWriter::append: writer poisoned by a failed rollback");
+    const std::vector<unsigned char> payload = encode(batch, generation);
+    std::vector<unsigned char> record(kRecordHeaderBytes + payload.size());
+    putU32(record.data(), static_cast<std::uint32_t>(payload.size()));
+    putU32(record.data() + 4, crc32(payload.data(), payload.size()));
+    std::memcpy(record.data() + kRecordHeaderBytes, payload.data(),
+                payload.size());
+
+    const count offset = bytes_;
+    const count prevRecords = records_;
+    const count prevUnsynced = unsynced_;
+    bool wrote = false;
+    try {
+        GRAPR_FAULT_POINT("wal.append.write");
+        writeAll(record.data(), record.size());
+        wrote = true;
+        bytes_ += record.size();
+        ++records_;
+        ++unsynced_;
+        if (unsynced_ >= groupCommit_) syncNow();
+    } catch (...) {
+        // Strong guarantee: roll the segment back to its pre-append
+        // length. Two situations still poison the writer:
+        //  - the rollback truncate itself fails (the on-disk tail is in
+        //    an unknown state);
+        //  - an fsync failed while OLDER acknowledged appends sat in the
+        //    group-commit window (they can no longer be made durable).
+        bool rolledBack = !GRAPR_FAULT_INJECT("wal.rollback.truncate");
+        if (rolledBack) {
+            std::error_code ec;
+            std::filesystem::resize_file(path_, offset, ec);
+            rolledBack = !ec;
+        }
+        if (rolledBack) {
+            bytes_ = offset;
+            records_ = prevRecords;
+            unsynced_ = prevUnsynced;
+            if (wrote && prevUnsynced > 0) poisoned_ = true;
+        } else {
+            poisoned_ = true;
+        }
+        throw;
+    }
+}
+
+void WalWriter::sync() {
+    require(isOpen(), "WalWriter::sync: no segment open");
+    if (unsynced_ > 0) syncNow();
+}
+
+void WalWriter::close() {
+    if (!isOpen()) return;
+    if (!poisoned_ && unsynced_ > 0) {
+        try {
+            syncNow();
+        } catch (...) {
+            // Swallowed by contract: close happens at rotation/teardown,
+            // when a fresher checkpoint supersedes this segment.
+        }
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+ReplayResult replay(const std::string& path, bool truncateTorn) {
+    ReplayResult result;
+    {
+        io::MappedFile file(path);
+        const auto* bytes =
+            reinterpret_cast<const unsigned char*>(file.data());
+        const std::size_t size = file.size();
+        if (size < kHeaderBytes) {
+            // A header torn by a crash during segment creation: nothing
+            // was ever acknowledged through this segment.
+            result.torn = true;
+            result.validBytes = 0;
+            return result;
+        }
+        if (std::memcmp(bytes, kMagic, 4) != 0) {
+            throw io::IoError(path, 0, 0, "not a GWAL segment (bad magic)");
+        }
+        const std::uint32_t version = getU32(bytes + 4);
+        if (version != kVersion) {
+            throw io::IoError(path, 0, 4, "unsupported GWAL version " +
+                                              std::to_string(version));
+        }
+        result.baseGeneration = getU64(bytes + 8);
+
+        std::size_t pos = kHeaderBytes;
+        std::uint64_t expectedGeneration = result.baseGeneration + 1;
+        while (pos + kRecordHeaderBytes <= size) {
+            const std::uint32_t payloadBytes = getU32(bytes + pos);
+            if (payloadBytes < kPayloadHeaderBytes ||
+                payloadBytes > size - pos - kRecordHeaderBytes) {
+                break; // length prefix overruns the file: torn tail
+            }
+            const std::uint32_t storedCrc = getU32(bytes + pos + 4);
+            const unsigned char* payload = bytes + pos + kRecordHeaderBytes;
+            if (crc32(payload, payloadBytes) != storedCrc) {
+                break; // payload damaged: torn tail
+            }
+            WalRecord record;
+            if (!decode(payload, payloadBytes, record)) {
+                break; // structurally inconsistent: torn tail
+            }
+            if (record.generation != expectedGeneration) {
+                break; // breaks the baseGeneration+k sequence: torn tail
+            }
+            ++expectedGeneration;
+            result.records.push_back(std::move(record));
+            pos += kRecordHeaderBytes + payloadBytes;
+        }
+        result.validBytes = pos;
+        result.torn = pos < size;
+    } // unmap before truncating
+
+    if (result.torn && truncateTorn) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, result.validBytes, ec);
+        if (ec) {
+            throw io::IoError(path, 0, result.validBytes,
+                              "failed to truncate torn WAL tail");
+        }
+    }
+    return result;
+}
+
+} // namespace grapr::wal

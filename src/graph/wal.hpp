@@ -1,0 +1,120 @@
+#pragma once
+// Write-ahead log for StreamingGraph ("GWAL") — every committed batch is
+// appended, CRC-checksummed and fsync'd, BEFORE the engine publishes the
+// generation it produces, so a crash at any instant loses at most the
+// batches the group-commit window had not yet synced, and never loses
+// consistency (DESIGN.md "Durability, recovery, and fault injection").
+//
+// Segment layout (native byte order):
+//
+//   0   magic "GWAL"
+//   4   u32  format version (1)
+//   8   u64  baseGeneration — the checkpoint generation this segment's
+//            records replay against; record k produces baseGeneration+k
+//   16  records, back to back:
+//
+//       u32 payloadBytes | u32 crc32(payload) | payload
+//       payload: u64 generation | u32 opCount
+//                | opCount x { u8 kind, u32 u, u32 v, f64 w }
+//
+// Records hold the NET batch (the deterministic reduction the engine
+// publishes: removes first, then inserts, sorted by endpoints), so a
+// replay in Strict mode reproduces the exact CSR arrays bit for bit.
+//
+// Torn-write truncation rule: on replay, scanning stops at the first
+// record whose length prefix overruns the remaining bytes, whose CRC
+// does not match its payload, whose payload is structurally inconsistent
+// (opCount disagrees with payloadBytes), or whose generation breaks the
+// baseGeneration+k sequence. Everything before that point is valid (CRCs
+// proved it); everything from it on is a torn tail from a crash mid-
+// append and is dropped — optionally physically, by truncating the file
+// — never misparsed.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/graph_log.hpp"
+#include "support/common.hpp"
+
+namespace grapr::wal {
+
+/// One replayed record: the net batch and the generation it produces.
+struct WalRecord {
+    std::uint64_t generation = 0;
+    EdgeBatch batch;
+};
+
+/// Result of scanning a segment.
+struct ReplayResult {
+    std::uint64_t baseGeneration = 0;
+    std::vector<WalRecord> records; ///< the valid prefix, in append order
+    count validBytes = 0;           ///< header + all valid records
+    bool torn = false;              ///< trailing bytes were invalid
+};
+
+/// Append-only writer over one WAL segment. Not thread-safe: the engine
+/// serializes appends on its writer mutex.
+class WalWriter {
+public:
+    /// A closed writer (no segment attached).
+    WalWriter() = default;
+
+    /// Create (truncate) segment `path`; its first record will produce
+    /// generation `baseGeneration + 1`. `groupCommit` is the fsync
+    /// cadence: 1 syncs every append (strict durability); N > 1 syncs
+    /// every Nth append, so a crash may lose up to the last N-1
+    /// acknowledged batches — never consistency.
+    WalWriter(const std::string& path, std::uint64_t baseGeneration,
+              count groupCommit);
+
+    WalWriter(const WalWriter&) = delete;
+    WalWriter& operator=(const WalWriter&) = delete;
+    WalWriter(WalWriter&& other) noexcept;
+    WalWriter& operator=(WalWriter&& other) noexcept;
+    ~WalWriter();
+
+    /// Append one record; throws IoError (or fault::InjectedFault) on
+    /// failure. Strong guarantee: a failed append rolls the file back to
+    /// its previous length. If even the rollback fails the writer is
+    /// poisoned() — the on-disk tail is in an unknown state and the
+    /// owner must stop using the log (recovery handles the torn tail).
+    void append(const EdgeBatch& batch, std::uint64_t generation);
+
+    /// fsync any unsynced appends of the group-commit window.
+    void sync();
+
+    /// Best-effort sync + close the segment (errors swallowed: a segment
+    /// is only closed at rotation, when a fresher checkpoint already
+    /// supersedes it). No-op on a closed writer.
+    void close();
+
+    bool isOpen() const noexcept { return file_ != nullptr; }
+    bool poisoned() const noexcept { return poisoned_; }
+    const std::string& path() const noexcept { return path_; }
+    count records() const noexcept { return records_; }
+
+private:
+    void syncNow();
+    void writeAll(const unsigned char* data, std::size_t bytes);
+
+    std::FILE* file_ = nullptr;
+    std::string path_;
+    count groupCommit_ = 1;
+    count bytes_ = 0;    ///< length of the fully-appended prefix
+    count records_ = 0;  ///< records successfully appended
+    count unsynced_ = 0; ///< appends since the last fsync
+    bool poisoned_ = false;
+};
+
+/// Scan segment `path` and return every valid record (see the torn-write
+/// truncation rule above). With `truncateTorn` the file is physically
+/// truncated to the valid prefix, so a later append continues from a
+/// clean tail. Throws IoError only when the file cannot be opened/read
+/// or its HEADER is invalid — a damaged header means the file is not a
+/// WAL segment at all, while a damaged tail is expected crash damage and
+/// is handled by the truncation rule.
+ReplayResult replay(const std::string& path, bool truncateTorn);
+
+} // namespace grapr::wal

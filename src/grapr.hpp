@@ -9,7 +9,9 @@
 //   grapr::Partition communities = plm.run(g);
 //   double q = grapr::Modularity().getQuality(communities, g);
 
+#include "support/checksum.hpp"
 #include "support/common.hpp"
+#include "support/fault.hpp"
 #include "support/logging.hpp"
 #include "support/parallel.hpp"
 #include "support/progress.hpp"
@@ -23,12 +25,14 @@
 #include "graph/graph_tools.hpp"
 #include "graph/graph_log.hpp"
 #include "graph/stream_engine.hpp"
+#include "graph/wal.hpp"
 
 #include "structures/partition.hpp"
 #include "structures/delta_csr.hpp"
 #include "structures/cover.hpp"
 #include "structures/union_find.hpp"
 
+#include "io/binary_csr.hpp"
 #include "io/binary_io.hpp"
 #include "io/io_error.hpp"
 #include "io/mapped_file.hpp"

@@ -1,9 +1,12 @@
 #include "io/metis_io.hpp"
 
 #include <fstream>
+#include <ios>
 
+#include "io/io_error.hpp"
 #include "io/parallel_metis.hpp"
 #include "io/text_scanner.hpp"
+#include "support/fault.hpp"
 
 namespace grapr::io {
 
@@ -24,13 +27,26 @@ Graph readMetis(const std::string& path, const ParseOptions& options) {
 void writeMetis(const Graph& g, const std::string& path) {
     require(g.upperNodeIdBound() == g.numberOfNodes(),
             "writeMetis: compact the graph first (no removed node ids)");
-    std::ofstream out(path);
-    if (!out) fail("writeMetis: cannot open " + path);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw IoError(path, 0, 0, "writeMetis: cannot open for writing");
+    // Same short-write discipline as writeEdgeList: report structured
+    // IoErrors with the last known-good byte offset instead of silently
+    // dropping ENOSPC/flush/close failures.
+    count lastGood = 0;
+    const auto checkStream = [&](const char* what) {
+        if (!out) throw IoError(path, 0, lastGood, std::string(what) +
+                                " failed (disk full?)");
+        lastGood = static_cast<count>(out.tellp());
+    };
     const bool weighted = g.isWeighted();
     out << g.numberOfNodes() << ' ' << g.numberOfEdges();
     if (weighted) out << " 1";
     out << '\n';
+    checkStream("writeMetis: header write");
     for (node u = 0; u < g.numberOfNodes(); ++u) {
+        if (GRAPR_FAULT_INJECT("io.write.metis")) {
+            out.setstate(std::ios::badbit); // simulated ENOSPC
+        }
         bool first = true;
         g.forNeighborsOf(u, [&](node v, edgeweight w) {
             if (!first) out << ' ';
@@ -40,8 +56,14 @@ void writeMetis(const Graph& g, const std::string& path) {
             if (weighted) out << ' ' << scan::formatWeight(w);
         });
         out << '\n';
+        if ((u & 1023u) == 0) checkStream("writeMetis: row write");
     }
-    if (!out) fail("writeMetis: write error on " + path);
+    out.flush();
+    checkStream("writeMetis: flush");
+    out.close();
+    if (out.fail()) {
+        throw IoError(path, 0, lastGood, "writeMetis: close failed");
+    }
 }
 
 } // namespace grapr::io

@@ -1,0 +1,45 @@
+#pragma once
+// CRC-32 (the ISO-HDLC / zlib polynomial 0xEDB88320), table-driven and
+// chainable. Used by the durability layer to checksum WAL records and
+// binary CSR checkpoints (graph/wal.hpp, io/binary_csr.hpp): a record is
+// accepted on replay only if its stored CRC matches the recomputed one,
+// which is what makes the torn-tail truncation rule safe — a partially
+// written record cannot masquerade as a valid one.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace grapr {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/// CRC-32 of [data, data + bytes). Chainable: pass a previous result as
+/// `seed` to checksum a logical stream in pieces without buffering it.
+inline std::uint32_t crc32(const void* data, std::size_t bytes,
+                           std::uint32_t seed = 0) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return ~c;
+}
+
+} // namespace grapr

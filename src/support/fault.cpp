@@ -1,0 +1,174 @@
+#include "support/fault.hpp"
+
+#ifdef GRAPR_FAULT_INJECTION
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "support/common.hpp"
+
+namespace grapr::fault {
+
+namespace {
+
+struct Trigger {
+    std::uint64_t nth = 1;
+    bool kill = false;
+    bool fired = false;
+};
+
+struct State {
+    std::mutex mutex;
+    bool parsedEnv = false;
+    bool capture = false;
+    std::map<std::string, Trigger> triggers;
+    std::map<std::string, std::uint64_t> counts;
+};
+
+State& state() {
+    static State s;
+    return s;
+}
+
+/// Fast-path gate: false only when we know nothing is armed and capture
+/// is off, so production hits cost one relaxed load. Starts true because
+/// the environment has not been consulted yet.
+std::atomic<bool>& maybeArmed() {
+    static std::atomic<bool> armed{true};
+    return armed;
+}
+
+void updateArmedLocked(const State& s) {
+    maybeArmed().store(!s.parsedEnv || s.capture || !s.triggers.empty(),
+                       std::memory_order_relaxed);
+}
+
+void parseSpecLocked(State& s, const std::string& spec) {
+    std::stringstream stream(spec);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (item.empty()) continue;
+        Trigger trigger;
+        const std::size_t c1 = item.find(':');
+        const std::string site = item.substr(0, c1);
+        require(!site.empty(), "GRAPR_FAULT: empty site name in spec");
+        if (c1 != std::string::npos) {
+            const std::string rest = item.substr(c1 + 1);
+            const std::size_t c2 = rest.find(':');
+            const std::string nthText = rest.substr(0, c2);
+            if (!nthText.empty()) {
+                const unsigned long long nth =
+                    std::strtoull(nthText.c_str(), nullptr, 10);
+                trigger.nth = nth > 0 ? nth : 1;
+            }
+            if (c2 != std::string::npos) {
+                const std::string action = rest.substr(c2 + 1);
+                if (action == "kill") {
+                    trigger.kill = true;
+                } else if (action != "throw" && !action.empty()) {
+                    fail("GRAPR_FAULT: unknown action '" + action +
+                         "' (expected throw or kill)");
+                }
+            }
+        }
+        s.triggers[site] = trigger;
+    }
+}
+
+void parseEnvLocked(State& s) {
+    if (s.parsedEnv) return;
+    s.parsedEnv = true;
+    if (const char* env = std::getenv("GRAPR_FAULT")) {
+        parseSpecLocked(s, env);
+    }
+}
+
+/// Returns whether `site` triggers on this hit; sets `kill` accordingly.
+bool triggered(const char* site, bool& kill) {
+    if (!maybeArmed().load(std::memory_order_relaxed)) return false;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    parseEnvLocked(s);
+    updateArmedLocked(s);
+    if (s.triggers.empty() && !s.capture) return false;
+    const std::uint64_t n = ++s.counts[site];
+    const auto it = s.triggers.find(site);
+    if (it == s.triggers.end() || it->second.fired || n != it->second.nth) {
+        return false;
+    }
+    it->second.fired = true;
+    kill = it->second.kill;
+    return true;
+}
+
+} // namespace
+
+bool inject(const char* site) {
+    bool kill = false;
+    if (!triggered(site, kill)) return false;
+    if (kill) {
+        // Simulated crash: no destructors, no stream flushes, no atexit
+        // handlers — whatever was not fsync'd is what recovery gets.
+#if defined(__unix__) || defined(__APPLE__)
+        ::_exit(kKilledExitCode);
+#else
+        std::_Exit(kKilledExitCode);
+#endif
+    }
+    return true;
+}
+
+void hit(const char* site) {
+    if (inject(site)) throw InjectedFault(site);
+}
+
+void configure(const std::string& spec) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.parsedEnv = true; // programmatic arming overrides the environment
+    s.triggers.clear();
+    s.counts.clear();
+    parseSpecLocked(s, spec);
+    updateArmedLocked(s);
+}
+
+void clearConfiguration() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.parsedEnv = true;
+    s.triggers.clear();
+    s.counts.clear();
+    updateArmedLocked(s);
+}
+
+void captureSites(bool enabled) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    parseEnvLocked(s);
+    s.capture = enabled;
+    updateArmedLocked(s);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> sites() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return {s.counts.begin(), s.counts.end()};
+}
+
+} // namespace grapr::fault
+
+#else // !GRAPR_FAULT_INJECTION
+
+// Keep the translation unit non-empty when the framework is compiled out.
+namespace grapr::fault {
+void faultInjectionDisabled() {}
+} // namespace grapr::fault
+
+#endif // GRAPR_FAULT_INJECTION

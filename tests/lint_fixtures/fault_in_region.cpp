@@ -1,0 +1,39 @@
+// Lint fixture: an otherwise-clean parallel region containing a
+// fault-injection site. The `grapr_lint_fault` ctest invokes the linter
+// on this file and expects a NONZERO exit (WILL_FAIL) — if the lint ever
+// "passes" this file, the fault-point-in-parallel rule regressed. This
+// file is never compiled.
+//
+// Seeded violations, in order:
+//   1. fault-point-in-parallel   GRAPR_FAULT_POINT inside a team
+//   2. fault-point-in-parallel   GRAPR_FAULT_INJECT inside a team
+//
+// Why this is banned: a triggered fault point either throws (an exception
+// cannot cross the OpenMP region boundary — the runtime aborts) or kills
+// the process mid-team (tearing the other threads through arbitrary
+// state). Fault sites belong on the single-threaded commit path only.
+
+#include <vector>
+
+#define GRAPR_FAULT_POINT(site) ((void)0)
+#define GRAPR_FAULT_INJECT(site) false
+
+void fixtureFaultPointInRegion(std::vector<int>& data) {
+#pragma omp parallel for default(none) shared(data)
+    for (int i = 0; i < 100; ++i) {
+        // (1) a triggered hit here throws across the region boundary
+        GRAPR_FAULT_POINT("fixture.region.hit");
+        data[i] = i;
+    }
+}
+
+void fixtureFaultInjectInRegion(std::vector<int>& data) {
+#pragma omp parallel for default(none) shared(data)
+    for (int i = 0; i < 100; ++i) {
+        // (2) even the in-band variant is banned: the counter bump is a
+        // cross-thread ordering hazard and the simulated failure would
+        // fire on an arbitrary worker thread
+        if (GRAPR_FAULT_INJECT("fixture.region.inject")) continue;
+        data[i] = i;
+    }
+}

@@ -43,6 +43,13 @@ Rules (each has a stable id used by `grapr:lint-allow(<rule>)`):
   annotation-format       Every `grapr:benign-race(...)` comment must be
                           well-formed, give a non-empty reason, and name a
                           variable that occurs within the next 8 lines.
+  fault-point-in-parallel `GRAPR_FAULT_POINT` / `GRAPR_FAULT_INJECT` sites
+                          inside an OpenMP parallel region are forbidden: a
+                          trigger throws or kills the process and must fire
+                          on the single-threaded commit path only, never
+                          from inside a team (a mid-region kill tears the
+                          team; a mid-region throw cannot cross the OpenMP
+                          region boundary and aborts).
 
 Suppression: `// grapr:lint-allow(<rule>): <reason>` on the offending line
 or the line directly above. Suppressions require a non-empty reason and an
@@ -80,6 +87,7 @@ RULES = {
     "benign-race",
     "compound-shared-write",
     "annotation-format",
+    "fault-point-in-parallel",
 }
 
 BANNED_RNG = re.compile(r"(?<![\w:.>])(rand|srand|drand48|lrand48|mrand48|random)\s*\(")
@@ -97,6 +105,7 @@ PARTITION_MUTATORS = re.compile(
 )
 ANNOTATION = re.compile(r"grapr:benign-race\((?P<var>[A-Za-z_]\w*)\)(?P<rest>[^\n]*)")
 LINT_ALLOW = re.compile(r"grapr:lint-allow\((?P<rule>[\w-]+)\)(?P<rest>[^\n]*)")
+FAULT_POINT = re.compile(r"\bGRAPR_FAULT_(?:POINT|INJECT)\s*\(")
 COMPOUND_WRITE = re.compile(
     r"(?:\+\+|--)\s*(?P<pre>[A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*;"
     r"|(?P<post>[A-Za-z_]\w*)\s*(?:\[[^\][]*\])?\s*(?:\+\+|--)\s*;"
@@ -469,6 +478,11 @@ class FileLint:
             if STREAM_LOG.search(code):
                 self.report(i, "no-stream-log",
                             "stream/printf logging inside a parallel region")
+            if FAULT_POINT.search(code):
+                self.report(i, "fault-point-in-parallel",
+                            "fault-injection site inside a parallel region: "
+                            "triggers throw or kill and must fire on the "
+                            "single-threaded commit path only")
             for m in CONTAINER_MUTATION.finditer(code):
                 recv = m.group("recv")
                 base = re.match(r"[A-Za-z_]\w*", recv).group(0)
