@@ -147,6 +147,7 @@ WalWriter::~WalWriter() {
 }
 
 void WalWriter::writeAll(const unsigned char* data, std::size_t bytes) {
+    GRAPR_FAULT_POINT("wal.write");
     if (std::fwrite(data, 1, bytes, file_) != bytes) {
         throw io::IoError(path_, 0, bytes_, "WAL write failed (disk full?)");
     }
@@ -282,6 +283,7 @@ ReplayResult replay(const std::string& path, bool truncateTorn) {
     } // unmap before truncating
 
     if (result.torn && truncateTorn) {
+        GRAPR_FAULT_POINT("wal.replay.truncate");
         std::error_code ec;
         std::filesystem::resize_file(path, result.validBytes, ec);
         if (ec) {

@@ -67,6 +67,7 @@ public:
 
     void writeRaw(const void* data, std::size_t bytes) {
         if (bytes == 0) return;
+        GRAPR_FAULT_POINT("checkpoint.write");
         if (std::fwrite(data, 1, bytes, file_) != bytes) {
             throw IoError(path_, 0, written_,
                           "short write (disk full?)");
@@ -85,6 +86,7 @@ private:
 };
 
 void syncFile(std::FILE* file, const std::string& path, count offset) {
+    GRAPR_FAULT_POINT("checkpoint.fsync");
 #ifdef GRAPR_HAVE_POSIX_SYNC
     if (::fsync(::fileno(file)) != 0) {
         throw IoError(path, 0, offset, "fsync failed");
@@ -100,6 +102,7 @@ void syncFile(std::FILE* file, const std::string& path, count offset) {
 /// durable. Open failure is tolerated (not every filesystem allows
 /// opening directories); an fsync error on an open handle is not.
 void syncDirectoryOf(const std::string& path) {
+    GRAPR_FAULT_POINT("checkpoint.dirsync");
 #ifdef GRAPR_HAVE_POSIX_SYNC
     const std::size_t slash = path.find_last_of('/');
     std::string dir =
@@ -146,7 +149,6 @@ void writeBinaryCsr(const CsrGraph& g, std::uint64_t generation,
         header[32] = weighted ? 1 : 0;
 
         CrcFileWriter out(file.get(), tmp);
-        GRAPR_FAULT_POINT("checkpoint.write");
         out.write(header, kHeaderBytes);
         out.write(offsets.data(), offsets.size() * sizeof(index));
         out.write(neighbors.data(), neighbors.size() * sizeof(node));
@@ -164,14 +166,12 @@ void writeBinaryCsr(const CsrGraph& g, std::uint64_t generation,
         if (std::fflush(file.get()) != 0) {
             throw IoError(tmp, 0, out.written(), "flush failed");
         }
-        GRAPR_FAULT_POINT("checkpoint.fsync");
         syncFile(file.get(), tmp, out.written());
         file.reset(); // close before rename
         GRAPR_FAULT_POINT("checkpoint.rename");
         if (std::rename(tmp.c_str(), path.c_str()) != 0) {
             throw IoError(path, 0, 0, "rename from temp file failed");
         }
-        GRAPR_FAULT_POINT("checkpoint.dirsync");
         syncDirectoryOf(path);
     } catch (...) {
         file.reset();

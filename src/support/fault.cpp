@@ -63,18 +63,33 @@ void parseSpecLocked(State& s, const std::string& spec) {
             const std::string rest = item.substr(c1 + 1);
             const std::size_t c2 = rest.find(':');
             const std::string nthText = rest.substr(0, c2);
-            if (!nthText.empty()) {
-                const unsigned long long nth =
-                    std::strtoull(nthText.c_str(), nullptr, 10);
-                trigger.nth = nth > 0 ? nth : 1;
+            // A malformed count must fail loudly, not silently disarm:
+            // a harness that misspells "wal.write:3" as "wal.write:3x"
+            // would otherwise run to completion with no fault armed and
+            // report green.
+            if (nthText.empty()) {
+                fail("GRAPR_FAULT: empty hit count in '" + item +
+                     "' (expected site[:nth[:throw|kill]])");
             }
+            char* end = nullptr;
+            const unsigned long long nth =
+                std::strtoull(nthText.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0') {
+                fail("GRAPR_FAULT: non-numeric hit count '" + nthText +
+                     "' in '" + item + "'");
+            }
+            if (nth == 0) {
+                fail("GRAPR_FAULT: hit count must be >= 1 in '" + item +
+                     "'");
+            }
+            trigger.nth = nth;
             if (c2 != std::string::npos) {
                 const std::string action = rest.substr(c2 + 1);
                 if (action == "kill") {
                     trigger.kill = true;
-                } else if (action != "throw" && !action.empty()) {
+                } else if (action != "throw") {
                     fail("GRAPR_FAULT: unknown action '" + action +
-                         "' (expected throw or kill)");
+                         "' in '" + item + "' (expected throw or kill)");
                 }
             }
         }

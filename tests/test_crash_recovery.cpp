@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -616,6 +617,133 @@ TEST(CrashRecovery, WriterShortWritesAreStructuredIoErrors) {
     fs::remove_all(dir);
 }
 
+// Satellite: malformed GRAPR_FAULT specs must fail loudly, not silently
+// disarm — a harness that misspells a spec would otherwise run with no
+// fault armed and report green.
+TEST(CrashRecovery, MalformedFaultSpecsFailLoudly) {
+    FaultGuard guard;
+    for (const char* bad :
+         {"wal.append.write:abc:throw", "wal.append.write:3x",
+          "wal.append.write:0:throw", "wal.append.write::throw",
+          "wal.append.write:1:explode", ":1:throw"}) {
+        EXPECT_THROW(fault::configure(bad), std::runtime_error)
+            << "malformed spec '" << bad << "' was accepted";
+    }
+    // Valid shapes still parse: bare site (nth defaults to 1), explicit
+    // count, explicit action, and comma-separated combinations.
+    fault::configure("wal.append.write");
+    fault::configure("wal.append.write:2");
+    fault::configure("wal.append.write:2:throw,engine.publish:1:kill");
+    fault::clearConfiguration();
+}
+
+// Satellite + tentpole cross-check: grapr_analyze's fault-site-coverage
+// check pins the static GRAPR_FAULT_POINT list to tests/fault_sites.txt;
+// this is the dynamic half. One run that exercises every registered site
+// must produce a captureSites() trace whose name set equals the manifest
+// — drift in EITHER direction fails (a site added without a manifest
+// entry fails the analyzer; a manifest entry the harness can no longer
+// reach fails here).
+TEST(CrashRecovery, FaultSiteManifestMatchesTrace) {
+#ifndef GRAPR_FAULT_SITE_MANIFEST
+    GTEST_SKIP() << "GRAPR_FAULT_SITE_MANIFEST not defined by the build";
+#else
+    FaultGuard guard;
+    std::set<std::string> manifest;
+    {
+        std::ifstream in(GRAPR_FAULT_SITE_MANIFEST);
+        ASSERT_TRUE(in.is_open())
+            << "cannot read " << GRAPR_FAULT_SITE_MANIFEST;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#') continue;
+            manifest.insert(line);
+        }
+    }
+    ASSERT_FALSE(manifest.empty());
+
+    const fs::path dir = makeTempDir("grapr_manifest");
+    // Arm a throwing fault BEFORE enabling capture: configure() resets
+    // the hit counts, captureSites() preserves them. The throw drives
+    // the rollback path (wal.rollback.truncate is INJECT-only and never
+    // evaluated on a clean run).
+    fault::configure("wal.append.write:3:throw");
+    fault::captureSites(true);
+    {
+        Graph g = seedGraph();
+        StreamingGraph engine(g);
+        engine.enableDurability(dir.string(), crashOptions());
+        const StreamWorkload workload = crashWorkload();
+        int thrown = 0;
+        for (std::uint64_t i = 0; i < kBatches; ++i) {
+            try {
+                engine.apply(workload.batch(i, engine.pin()->graph),
+                             StreamApplyMode::Permissive);
+            } catch (const fault::InjectedFault&) {
+                ++thrown; // clean rollback: the engine stays usable
+            }
+        }
+        EXPECT_EQ(thrown, 1);
+        EXPECT_FALSE(engine.failed());
+    }
+
+    // The text writers register their own sites.
+    Graph g2 = seedGraph();
+    io::writeEdgeList(g2, (dir / "trace.tsv").string(), false);
+    io::writeMetis(g2, (dir / "trace.metis").string());
+
+    // Tear the newest WAL segment's tail so recovery's replay hits the
+    // torn-tail truncation site (and the checkpoint/create sites again).
+    fs::path segment;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".gwal") == 0) {
+            if (segment.empty() ||
+                segment.filename().string() < name) {
+                segment = entry.path();
+            }
+        }
+    }
+    ASSERT_FALSE(segment.empty()) << "no WAL segment in " << dir;
+    {
+        std::ofstream out(segment,
+                          std::ios::binary | std::ios::app);
+        const char garbage[] = "torn-tail-garbage";
+        out.write(garbage, sizeof garbage);
+    }
+    {
+        StreamingGraph recovered(dir.string(), crashOptions());
+        EXPECT_FALSE(recovered.failed());
+    }
+
+    fault::captureSites(false);
+    const auto trace = fault::sites();
+
+    // Stable, duplicate-free enumeration.
+    EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end()));
+    std::set<std::string> traced;
+    for (const auto& [site, hits] : trace) {
+        EXPECT_TRUE(traced.insert(site).second)
+            << "duplicate site in trace: " << site;
+        EXPECT_GT(hits, 0u);
+    }
+    EXPECT_EQ(trace, fault::sites()) << "trace changed between calls";
+
+    // Both directions of drift fail.
+    for (const std::string& site : manifest) {
+        EXPECT_TRUE(traced.count(site) > 0)
+            << "manifest site never reached by the trace run: " << site;
+    }
+    for (const std::string& site : traced) {
+        EXPECT_TRUE(manifest.count(site) > 0)
+            << "site hit at runtime but missing from fault_sites.txt: "
+            << site;
+    }
+    fs::remove_all(dir);
+#endif
+}
+
 // ---- the tentpole: kill at EVERY fault point, recover, compare --------
 
 TEST(CrashRecovery, KillAtEveryFaultPointRecoversBitIdentical) {
@@ -647,8 +775,9 @@ TEST(CrashRecovery, KillAtEveryFaultPointRecoversBitIdentical) {
     // fault point would shrink the harness without failing it).
     for (const char* site :
          {"checkpoint.open", "checkpoint.write", "checkpoint.fsync",
-          "checkpoint.rename", "wal.create.open", "wal.create.write",
-          "wal.append.write", "wal.append.fsync", "engine.publish"}) {
+          "checkpoint.rename", "checkpoint.dirsync", "wal.create.open",
+          "wal.create.write", "wal.write", "wal.append.write",
+          "wal.append.fsync", "engine.publish"}) {
         EXPECT_TRUE(traced.count(site) > 0)
             << "fault point " << site
             << " was not hit by the canonical durable run";

@@ -50,7 +50,7 @@ def parse_metric_spec(spec, default_tolerance):
     return spec, default_tolerance
 
 
-def check_metric(committed_path, fresh_path, metric, tolerance):
+def check_metric(committed_path, fresh_path, metric, tolerance, verbose):
     committed = load_metric(committed_path, metric)
     fresh = load_metric(fresh_path, metric)
 
@@ -67,12 +67,17 @@ def check_metric(committed_path, fresh_path, metric, tolerance):
     failed = False
     for name in shared:
         floor = committed[name] * (1.0 - tolerance)
-        status = "ok" if fresh[name] >= floor else "REGRESSED"
-        print(
-            f"{name}.{metric}: committed {committed[name]:.3g}, "
-            f"fresh {fresh[name]:.3g}, floor {floor:.3g} -> {status}"
-        )
-        failed |= fresh[name] < floor
+        regressed = fresh[name] < floor
+        # Failures always print; passing rows only at -v, so a triage run
+        # across BENCH_plm/stream/wal surfaces every regression at once
+        # without burying them in green lines.
+        if regressed or verbose:
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                f"{name}.{metric}: committed {committed[name]:.3g}, "
+                f"fresh {fresh[name]:.3g}, floor {floor:.3g} -> {status}"
+            )
+        failed |= regressed
     return failed
 
 
@@ -91,14 +96,29 @@ def main():
                         metavar="NAME[:TOLERANCE]",
                         help="per-instance metric to gate on; repeatable. "
                         "Default: speedup_tuned_vs_baseline")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also print measured/committed values for "
+                        "passing metrics (default: failures only)")
     args = parser.parse_args()
 
     specs = args.metric or ["speedup_tuned_vs_baseline"]
-    failed = False
+    regressed = []
     for spec in specs:
         name, tolerance = parse_metric_spec(spec, args.tolerance)
-        failed |= check_metric(args.committed, args.fresh, name, tolerance)
-    return 1 if failed else 0
+        if check_metric(args.committed, args.fresh, name, tolerance,
+                        args.verbose):
+            regressed.append(name)
+    if regressed:
+        print(
+            f"check_perf_regression: {len(regressed)} of {len(specs)} "
+            f"metric(s) regressed: {', '.join(regressed)}"
+        )
+    else:
+        print(
+            f"check_perf_regression: all {len(specs)} metric(s) within "
+            "tolerance"
+        )
+    return 1 if regressed else 0
 
 
 if __name__ == "__main__":

@@ -44,7 +44,10 @@ ANNOTATION = re.compile(
 LINT_ALLOW = re.compile(r"grapr:lint-allow\((?P<rule>[\w-]+)\)(?P<rest>[^\n]*)")
 
 CHECK_IDS = {"csr-staleness", "index-width", "annotation-liveness",
-             "suppression-liveness"}
+             "suppression-liveness",
+             # Durability-protocol checks (protocol.py).
+             "durability-order", "lock-discipline", "poison-path",
+             "fault-site-coverage"}
 
 # Integer-valued types (any width): an edgeweight (double) flowing into
 # one of these silently truncates the fractional part.

@@ -63,7 +63,7 @@ ASSIGN_RE = re.compile(
 METHOD_CALL_RE = re.compile(
     r"(?P<recv>[A-Za-z_]\w*)\s*(?:\.|->)\s*(?P<meth>[A-Za-z_]\w*)\s*\(")
 FREE_CALL_RE = re.compile(
-    r"(?<![\w.:>])(?P<name>(?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)\s*\(")
+    r"(?<![\w.:>])(?P<name>(?:::)?(?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)\s*\(")
 
 _NARROW_PAT = "|".join(
     sorted((NARROW_INT_TYPES | FLOAT_NARROW_TYPES), key=len, reverse=True))

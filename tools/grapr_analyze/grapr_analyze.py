@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """grapr_analyze: AST-grounded contract analyzer for the grapr codebase.
 
-Three checks, driven by the exported compile_commands.json (see checks.py
-for rule details and the sanctioned escape hatches):
+Eight checks, driven by the exported compile_commands.json (see checks.py
+and protocol.py for rule details and the sanctioned escape hatches):
 
   csr-staleness        frozen CsrGraph views read after their source Graph
                        mutated (intra-procedural, with call summaries for
@@ -14,6 +14,17 @@ for rule details and the sanctioned escape hatches):
                        site; stale or typo'd ones fail
   suppression-liveness tools/sanitizers/tsan.supp entries must still name
                        a defined symbol that reaches a parallel region
+  durability-order     WAL append -> fsync -> publish, and checkpoint
+                       write -> fsync -> rename -> dirsync, ordered on
+                       every path (protocol.py)
+  lock-discipline      writer/head mutex acquisition order is acyclic; no
+                       blocking I/O under the reader-head mutex
+  poison-path          failure edges between WAL append and publish reach
+                       rollback or poison marking
+  fault-site-coverage  raw I/O in durability code carries a fault point;
+                       the static site list matches tests/fault_sites.txt
+                       (the crash harness pins its dynamic trace to the
+                       same manifest)
 
 Frontends (--frontend):
   clang   libclang via clang.cindex — canonical, used by the CI analyze
@@ -25,15 +36,19 @@ Frontends (--frontend):
 Usage:
   grapr_analyze.py [--compile-commands build/compile_commands.json]
                    [--root src] [--frontend auto|clang|micro]
-                   [--tsan-supp tools/sanitizers/tsan.supp] [files...]
+                   [--tsan-supp tools/sanitizers/tsan.supp]
+                   [--fault-manifest tests/fault_sites.txt]
+                   [--exclude GLOB]... [files...]
 
 With explicit files, only those files are analyzed and the tsan.supp
-check is skipped (fixture mode). Exit status 1 if any finding remains.
+audit and fault-manifest cross-check are skipped (fixture mode). Exit
+status 1 if any finding remains.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
@@ -42,6 +57,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import checks                                    # noqa: E402
 import frontend_clang                            # noqa: E402
+import protocol                                  # noqa: E402
 from frontend_micro import MicroFrontend, blank  # noqa: E402
 from model import FileModel, build_summary       # noqa: E402
 
@@ -80,6 +96,9 @@ def collect_files(args: argparse.Namespace) -> list[Path]:
         files.update(root.rglob("*.cpp"))
     files.update(root.rglob("*.hpp"))
     files.update(root.rglob("*.h"))
+    for pattern in args.exclude or []:
+        files = {f for f in files
+                 if not fnmatch.fnmatch(str(f), pattern)}
     return sorted(files)
 
 
@@ -112,6 +131,15 @@ def main() -> int:
                         help="tsan suppression file to audit (default: "
                              "tools/sanitizers/tsan.supp next to this "
                              "script; pass '' to disable)")
+    parser.add_argument("--fault-manifest", default=None,
+                        help="fault-site manifest to cross-check against "
+                             "the GRAPR_FAULT_POINT sites found in the "
+                             "sources (default: tests/fault_sites.txt at "
+                             "the repo root; pass '' to disable)")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="GLOB",
+                        help="fnmatch pattern of file paths to skip "
+                             "(repeatable; e.g. '*_fixtures/*')")
     parser.add_argument("--quiet", action="store_true")
     parser.add_argument("files", nargs="*",
                         help="explicit files (fixture mode: skips the "
@@ -160,6 +188,17 @@ def main() -> int:
         findings += checks.check_csr_staleness(model, summary, allows)
         findings += checks.check_annotation_liveness(
             model, blanked, allows, lint_module)
+    if args.fault_manifest is None:
+        manifest = (Path(__file__).resolve().parent.parent.parent
+                    / "tests" / "fault_sites.txt")
+    elif args.fault_manifest == "":
+        manifest = None
+    else:
+        manifest = Path(args.fault_manifest)
+    findings += protocol.run_protocol_checks(
+        [(m, a) for m, _, a in pairs],
+        fixture_mode=bool(args.files), manifest=manifest)
+
     findings += checks.check_unused_allows(
         [(m, a) for m, _, a in pairs])
 

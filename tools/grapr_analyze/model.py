@@ -98,6 +98,40 @@ KNOWN_MUTATING_FUNCTIONS = {
 GRAPH_TYPES = {"Graph", "grapr::Graph"}
 CSR_TYPES = {"CsrGraph", "grapr::CsrGraph"}
 
+# --------------------------------------------------------------------------
+# Durability-protocol tables (protocol.py). The WAL/checkpoint contract is
+# expressed over call *names* only — the clang frontend's receiver recovery
+# is best-effort, and both frontends must agree on every fixture line.
+# --------------------------------------------------------------------------
+
+# Blocking I/O primitives by effect. Matched against the unqualified call
+# name (both frontends strip :: qualification), so `::fsync`, `std::rename`
+# and `std::filesystem::resize_file` all land here.
+SYNC_PRIMITIVES = {"fsync", "fdatasync"}
+WRITE_PRIMITIVES = {"fwrite"}
+RENAME_PRIMITIVES = {"rename"}
+TRUNCATE_PRIMITIVES = {"resize_file", "ftruncate"}
+DIRSYNC_FUNCTIONS = {"syncDirectoryOf"}
+
+# Durability-protocol verbs on the WAL / engine API.
+WAL_APPEND_METHODS = {"append"}
+PUBLISH_METHODS = {"publish"}
+POISON_METHODS = {"poison"}
+
+# RAII lock types (substring match against the declared type, so
+# `std::lock_guard<std::mutex>` and `unique_lock<shared_mutex>` both hit).
+LOCK_GUARD_TYPES = ("lock_guard", "unique_lock", "scoped_lock",
+                    "shared_lock")
+
+# Files whose functions are held to the durability ordering contract.
+# Fixtures (and any future durable code outside these files) opt in with a
+# `grapr:durability-scope` marker comment anywhere in the file.
+DURABILITY_FILES = {
+    "wal.cpp", "wal.hpp", "stream_engine.cpp", "stream_engine.hpp",
+    "binary_csr.cpp", "binary_csr.hpp", "fault.cpp", "fault.hpp",
+}
+DURABILITY_MARKER = "grapr:durability-scope"
+
 
 def normalize_type(spelling: str) -> str:
     """Collapse a type spelling to a comparable key: strip const/volatile,

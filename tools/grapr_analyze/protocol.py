@@ -1,0 +1,507 @@
+"""Durability-protocol checks for grapr_analyze.
+
+Four checks over the frontend-neutral IR (model.py), verifying the
+WAL/publish/poison contract that PR 8's crash harness enforces only
+dynamically:
+
+  durability-order    on every path through a durable commit, the WAL
+                      append must be fsync'd before any publish is
+                      reachable, and checkpoint renames must follow
+                      write -> fsync -> rename -> dirsync
+  lock-discipline     consistent mutex acquisition order across the
+                      writer/head mutexes (no cycles, no re-acquisition
+                      through a callee) and no blocking I/O while the
+                      reader-head mutex is held
+  poison-path         between a WAL append and its publish, failure
+                      edges must reach rollback (truncate) or poison
+                      marking — a durable record with no handler leaves
+                      the log ahead of memory silently
+  fault-site-coverage every fsync/fwrite/rename/truncate call in
+                      durability code carries a GRAPR_FAULT_POINT in the
+                      same function, and the static site list matches
+                      tests/fault_sites.txt (whose other consumer is the
+                      crash harness's captureSites() trace — drift in
+                      either direction fails)
+
+Scope: durability ordering, poison-path and site coverage apply to the
+files in model.DURABILITY_FILES, plus any file carrying a
+`grapr:durability-scope` marker comment (how fixtures opt in).
+lock-discipline is global.
+
+The analysis is name-keyed and flow-insensitive within a statement: both
+frontends agree on call names and line numbers, but not on receivers, so
+the contract is expressed over method/function names only. Effects
+propagate cross-TU through a fixed-point summary (same shape as
+model.build_summary): a call to `appendToWal` carries every effect of
+`WalWriter::append` at the call line. Known false-negative edges are
+documented in DESIGN.md ("Static protocol contracts").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from model import (DIRSYNC_FUNCTIONS, DURABILITY_FILES, DURABILITY_MARKER,
+                   FileModel, Finding, FunctionModel, LOCK_GUARD_TYPES,
+                   POISON_METHODS, PUBLISH_METHODS, RENAME_PRIMITIVES,
+                   Stmt, SYNC_PRIMITIVES, TRUNCATE_PRIMITIVES,
+                   WAL_APPEND_METHODS, WRITE_PRIMITIVES)
+
+from checks import Allows, _report
+
+# --------------------------------------------------------------------------
+# Effect model
+# --------------------------------------------------------------------------
+
+# Unqualified call name -> protocol effect at the call site.
+_DIRECT_EFFECTS: dict[str, str] = {}
+for _n in SYNC_PRIMITIVES:
+    _DIRECT_EFFECTS[_n] = "sync"
+for _n in WRITE_PRIMITIVES:
+    _DIRECT_EFFECTS[_n] = "write"
+for _n in RENAME_PRIMITIVES:
+    _DIRECT_EFFECTS[_n] = "rename"
+for _n in TRUNCATE_PRIMITIVES:
+    _DIRECT_EFFECTS[_n] = "truncate"
+for _n in DIRSYNC_FUNCTIONS:
+    _DIRECT_EFFECTS[_n] = "dirsync"
+for _n in WAL_APPEND_METHODS:
+    _DIRECT_EFFECTS[_n] = "append"
+for _n in PUBLISH_METHODS:
+    _DIRECT_EFFECTS[_n] = "publish"
+for _n in POISON_METHODS:
+    _DIRECT_EFFECTS[_n] = "poison"
+
+# Effects that block (hold no lock across these) and that count as raw
+# I/O for fault-site coverage.
+BLOCKING_EFFECTS = {"write", "sync", "rename", "dirsync", "truncate"}
+PRIMITIVE_CALLS = (SYNC_PRIMITIVES | WRITE_PRIMITIVES | RENAME_PRIMITIVES
+                   | TRUNCATE_PRIMITIVES)
+
+FAULT_SITE = re.compile(
+    r'GRAPR_FAULT_(?:POINT|INJECT)\s*\(\s*"(?P<site>[^"]+)"')
+
+_POISON_IDENT = re.compile(r"(?i)poison")
+
+# A lock-guard initializer ident counts as a mutex when it *looks* like
+# one; bare type names and std tags are excluded (the clang frontend can
+# surface the template argument `std::mutex` as an ident).
+MUTEX_IDENT = re.compile(r"(?i)(?:mutex|mtx|lock)")
+_NOT_MUTEXES = {
+    "std", "defer_lock", "try_to_lock", "adopt_lock",
+    "lock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_timed_mutex",
+}
+HEAD_MUTEX = re.compile(r"(?i)head")
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Remove // and /* */ comments, KEEPING string literal contents (the
+    opposite trade-off from frontend_micro.blank): fault-site names live
+    inside string literals, and wal.hpp's doc comments quote example
+    GRAPR_FAULT_POINT lines that must not register as sites."""
+    out: list[str] = []
+    in_block = False
+    for raw in lines:
+        buf: list[str] = []
+        i = 0
+        in_str = in_chr = False
+        while i < len(raw):
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < len(raw) else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                    continue
+                i += 1
+                continue
+            if in_str or in_chr:
+                buf.append(c)
+                if c == "\\" and nxt:
+                    buf.append(nxt)
+                    i += 2
+                    continue
+                if in_str and c == '"':
+                    in_str = False
+                elif in_chr and c == "'":
+                    in_chr = False
+                i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c == '"':
+                in_str = True
+            elif c == "'":
+                # Digit separators (1'000'000) are not char literals.
+                prev = raw[i - 1] if i > 0 else ""
+                if not (prev.isdigit() and nxt.isdigit()):
+                    in_chr = True
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def _call_names(stmt: Stmt) -> list[str]:
+    """Every call name a statement mentions: the lowered call itself plus
+    calls inside its value expression (frontends differ on which of the
+    two carries a nested call; the driver dedups per line)."""
+    names: list[str] = []
+    if stmt.kind == "call" and stmt.method:
+        names.append(stmt.method)
+    if stmt.value is not None:
+        for _recv, meth in stmt.value.calls:
+            if meth:
+                names.append(meth)
+    return names
+
+
+def _lock_decl_mutexes(stmt: Stmt) -> set[str]:
+    """Mutex names acquired by an RAII lock declaration."""
+    if stmt.kind != "decl":
+        return set()
+    if not any(t in stmt.declared_type for t in LOCK_GUARD_TYPES):
+        return set()
+    if stmt.value is None:
+        return set()
+    return {i for i in stmt.value.idents
+            if MUTEX_IDENT.search(i) and i not in _NOT_MUTEXES}
+
+
+@dataclass
+class ProtocolSummary:
+    """Cross-TU fixed point: function name -> protocol effects its body
+    can reach, and mutexes it (or a callee) acquires."""
+    effects: dict[str, set[str]] = field(default_factory=dict)
+    locks: dict[str, set[str]] = field(default_factory=dict)
+
+
+def build_protocol_summary(models: list[FileModel]) -> ProtocolSummary:
+    psum = ProtocolSummary()
+    changed = True
+    while changed:
+        changed = False
+        for model in models:
+            for fn in model.functions:
+                eff: set[str] = set()
+                lks: set[str] = set()
+                for stmt in fn.statements:
+                    for name in _call_names(stmt):
+                        direct = _DIRECT_EFFECTS.get(name)
+                        if direct:
+                            eff.add(direct)
+                        eff |= psum.effects.get(name, set())
+                        lks |= psum.locks.get(name, set())
+                    if stmt.kind == "assign" \
+                            and _POISON_IDENT.search(stmt.name or ""):
+                        eff.add("poison")
+                    lks |= _lock_decl_mutexes(stmt)
+                if eff - psum.effects.get(fn.name, set()):
+                    psum.effects.setdefault(fn.name, set()).update(eff)
+                    changed = True
+                if lks - psum.locks.get(fn.name, set()):
+                    psum.locks.setdefault(fn.name, set()).update(lks)
+                    changed = True
+    return psum
+
+
+def _stmt_effects(stmt: Stmt, psum: ProtocolSummary) -> set[str]:
+    eff: set[str] = set()
+    for name in _call_names(stmt):
+        direct = _DIRECT_EFFECTS.get(name)
+        if direct:
+            eff.add(direct)
+        eff |= psum.effects.get(name, set())
+    if stmt.kind == "assign" and _POISON_IDENT.search(stmt.name or ""):
+        eff.add("poison")
+    return eff
+
+
+def _function_events(fn: FunctionModel,
+                     psum: ProtocolSummary) -> list[tuple[int, str]]:
+    """(line, effect) pairs, deduped. A call inherits every effect of its
+    callee at the call line, so a whole committed transaction reached
+    through one call collapses onto one line — which is exactly why the
+    ordering checks compare first occurrences with <, never <=."""
+    events: set[tuple[int, str]] = set()
+    for stmt in fn.statements:
+        for eff in _stmt_effects(stmt, psum):
+            events.add((stmt.line, eff))
+    return sorted(events)
+
+
+def _in_scope(model: FileModel) -> bool:
+    if model.path.name in DURABILITY_FILES:
+        return True
+    return any(DURABILITY_MARKER in line for line in model.lines)
+
+
+def _effect_lines(events: list[tuple[int, str]], effect: str) -> list[int]:
+    return [line for line, eff in events if eff == effect]
+
+
+# --------------------------------------------------------------------------
+# durability-order
+# --------------------------------------------------------------------------
+
+def check_durability_order(pairs: list[tuple[FileModel, Allows]],
+                           psum: ProtocolSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for model, allows in pairs:
+        if not _in_scope(model):
+            continue
+        for fn in model.functions:
+            events = _function_events(fn, psum)
+            appends = _effect_lines(events, "append")
+            pubs = _effect_lines(events, "publish")
+            writes = _effect_lines(events, "write")
+            syncs = _effect_lines(events, "sync")
+            renames = _effect_lines(events, "rename")
+            dirsyncs = _effect_lines(events, "dirsync")
+            where = fn.qualname or fn.name
+
+            # o1: a publish must not be reachable before the WAL append.
+            if pubs and appends and min(pubs) < min(appends):
+                _report(findings, allows, model.path, min(pubs),
+                        "durability-order",
+                        f"publish at line {min(pubs)} is reachable before "
+                        f"the WAL append at line {min(appends)} in {where} "
+                        "(a crash after publish loses the acknowledged "
+                        "batch)")
+
+            # o2: data written/appended before a publish must have been
+            # fsync'd on or after the last such write, at or before the
+            # publish.
+            if pubs:
+                p = min(pubs)
+                unsynced = [w for w in set(writes) | set(appends) if w < p]
+                if unsynced and not any(max(unsynced) <= s <= p
+                                        for s in syncs):
+                    _report(findings, allows, model.path, p,
+                            "durability-order",
+                            f"publish at line {p} with no fsync after the "
+                            f"WAL write at line {max(unsynced)} in {where} "
+                            "(the record may still sit in the stdio "
+                            "buffer when the generation becomes visible)")
+
+            # o3: checkpoint protocol — every rename is preceded by an
+            # fsync of the written temp file and followed by a directory
+            # sync that makes the rename itself durable.
+            if renames:
+                r = min(renames)
+                before = [w for w in writes if w <= r]
+                if before and not any(max(before) <= s <= r for s in syncs):
+                    _report(findings, allows, model.path, r,
+                            "durability-order",
+                            f"rename at line {r} with no fsync after the "
+                            f"write at line {max(before)} in {where} (the "
+                            "renamed file may be durable-in-name only)")
+                if not any(d >= r for d in dirsyncs):
+                    _report(findings, allows, model.path, r,
+                            "durability-order",
+                            f"rename at line {r} is not followed by a "
+                            f"directory sync in {where} (the rename entry "
+                            "itself is not durable until the directory is "
+                            "fsync'd)")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# poison-path
+# --------------------------------------------------------------------------
+
+def check_poison_path(pairs: list[tuple[FileModel, Allows]],
+                      psum: ProtocolSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    for model, allows in pairs:
+        if not _in_scope(model):
+            continue
+        for fn in model.functions:
+            events = _function_events(fn, psum)
+            appends = _effect_lines(events, "append")
+            pubs = _effect_lines(events, "publish")
+            if not appends or not pubs:
+                continue
+            a = min(appends)
+            pubs_after = [p for p in pubs if p > a]
+            if not pubs_after:
+                # Append and publish collapse onto one call line: the
+                # callee's own body is where the handler is checked.
+                continue
+            handlers = [line for line, eff in events
+                        if eff in ("poison", "truncate") and line > a]
+            if not handlers:
+                where = fn.qualname or fn.name
+                _report(findings, allows, model.path, min(pubs_after),
+                        "poison-path",
+                        f"failure edges between the WAL append (line {a}) "
+                        f"and the publish (line {min(pubs_after)}) in "
+                        f"{where} reach neither rollback (truncate) nor "
+                        "poison marking — a crash here leaves the log "
+                        "ahead of memory with the engine still accepting "
+                        "commits")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# lock-discipline
+# --------------------------------------------------------------------------
+
+def check_lock_discipline(pairs: list[tuple[FileModel, Allows]],
+                          psum: ProtocolSummary) -> list[Finding]:
+    findings: list[Finding] = []
+    # (held, acquired) -> first witness site, for the global cycle check.
+    edges: dict[tuple[str, str], tuple[Path, int, Allows, str]] = {}
+    for model, allows in pairs:
+        for fn in model.functions:
+            where = fn.qualname or fn.name
+            held: list[tuple[int, str]] = []  # (line, mutex), this body
+            for stmt in fn.statements:
+                acquired: set[str] = set(_lock_decl_mutexes(stmt))
+                for name in _call_names(stmt):
+                    acquired |= psum.locks.get(name, set())
+                for m in sorted(acquired):
+                    for hline, hm in held:
+                        if hm == m:
+                            _report(findings, allows, model.path,
+                                    stmt.line, "lock-discipline",
+                                    f"mutex '{m}' already held (acquired "
+                                    f"at line {hline}) is acquired again "
+                                    f"in {where} — std::mutex is not "
+                                    "reentrant")
+                        else:
+                            edges.setdefault(
+                                (hm, m),
+                                (model.path, stmt.line, allows, where))
+                # Blocking I/O while directly holding a reader-head mutex.
+                blocking = _stmt_effects(stmt, psum) & BLOCKING_EFFECTS
+                if blocking:
+                    for hline, hm in held:
+                        if HEAD_MUTEX.search(hm):
+                            _report(findings, allows, model.path,
+                                    stmt.line, "lock-discipline",
+                                    "blocking I/O ("
+                                    + "/".join(sorted(blocking))
+                                    + f") under the reader-head mutex "
+                                    f"'{hm}' (acquired at line {hline}) "
+                                    f"in {where} — pinned readers stall "
+                                    "behind disk latency")
+                held.extend((stmt.line, m)
+                            for m in sorted(_lock_decl_mutexes(stmt)))
+
+    adjacency: dict[str, set[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+
+    def reaches(src: str, dst: str) -> bool:
+        seen: set[str] = set()
+        stack = [src]
+        while stack:
+            x = stack.pop()
+            if x == dst:
+                return True
+            if x in seen:
+                continue
+            seen.add(x)
+            stack.extend(adjacency.get(x, ()))
+        return False
+
+    for (a, b), (path, line, allows, where) in sorted(
+            edges.items(), key=lambda kv: (str(kv[1][0]), kv[1][1])):
+        if reaches(b, a):
+            _report(findings, allows, path, line, "lock-discipline",
+                    f"lock-order cycle: '{b}' is acquired while holding "
+                    f"'{a}' in {where}, but the opposite order also "
+                    "occurs — two threads can deadlock")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# fault-site-coverage
+# --------------------------------------------------------------------------
+
+def check_fault_site_coverage(pairs: list[tuple[FileModel, Allows]],
+                              psum: ProtocolSummary,
+                              manifest: Path | None,
+                              fixture_mode: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    all_sites: dict[str, tuple[Path, int]] = {}
+    for model, allows in pairs:
+        stripped = strip_comments(model.lines)
+        sites: list[tuple[int, str]] = []
+        for lineno, text in enumerate(stripped, start=1):
+            for m in FAULT_SITE.finditer(text):
+                sites.append((lineno, m.group("site")))
+                all_sites.setdefault(m.group("site"), (model.path, lineno))
+        if not _in_scope(model):
+            continue
+        for fn in model.functions:
+            covered = any(fn.start_line <= line <= fn.end_line
+                          for line, _site in sites)
+            if covered:
+                continue
+            where = fn.qualname or fn.name
+            for stmt in fn.statements:
+                primitives = [n for n in _call_names(stmt)
+                              if n in PRIMITIVE_CALLS]
+                if primitives:
+                    _report(findings, allows, model.path, stmt.line,
+                            "fault-site-coverage",
+                            f"'{primitives[0]}' in {where} has no "
+                            "GRAPR_FAULT_POINT in the same function — the "
+                            "crash harness cannot kill or fail this I/O")
+
+    # Static/dynamic cross-check through the shared manifest. The crash
+    # harness asserts fault::sites() == the same manifest, so drift in
+    # either direction fails one of the two gates.
+    if manifest is None or fixture_mode:
+        return findings
+    if not manifest.exists():
+        findings.append(Finding(
+            manifest, 1, "fault-site-coverage",
+            f"fault-site manifest {manifest} is missing (pass "
+            "--fault-manifest '' to disable the cross-check)"))
+        return findings
+    entries: dict[str, int] = {}
+    for lineno, raw in enumerate(manifest.read_text().splitlines(),
+                                 start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        entries.setdefault(text, lineno)
+    for name, (path, line) in sorted(all_sites.items()):
+        if name not in entries:
+            findings.append(Finding(
+                path, line, "fault-site-coverage",
+                f"fault site '{name}' is not listed in {manifest.name} — "
+                "add it so the crash harness's captureSites() trace is "
+                "held to it"))
+    for name, lineno in sorted(entries.items(), key=lambda kv: kv[1]):
+        if name not in all_sites:
+            findings.append(Finding(
+                manifest, lineno, "fault-site-coverage",
+                f"manifest entry '{name}' matches no GRAPR_FAULT_POINT in "
+                "the analyzed sources — remove it or restore the site"))
+    return findings
+
+
+def run_protocol_checks(pairs: list[tuple[FileModel, Allows]],
+                        fixture_mode: bool,
+                        manifest: Path | None) -> list[Finding]:
+    models = [model for model, _allows in pairs]
+    psum = build_protocol_summary(models)
+    findings: list[Finding] = []
+    findings += check_durability_order(pairs, psum)
+    findings += check_poison_path(pairs, psum)
+    findings += check_lock_discipline(pairs, psum)
+    findings += check_fault_site_coverage(pairs, psum, manifest,
+                                          fixture_mode)
+    return findings

@@ -49,7 +49,12 @@ Rules (each has a stable id used by `grapr:lint-allow(<rule>)`):
                           on the single-threaded commit path only, never
                           from inside a team (a mid-region kill tears the
                           team; a mid-region throw cannot cross the OpenMP
-                          region boundary and aborts).
+                          region boundary and aborts). Also flagged: a call
+                          inside the region to a helper function defined in
+                          the same file whose body contains a site (one
+                          level deep — deeper chains remain a documented
+                          false-negative edge; the crash harness covers
+                          them dynamically).
 
 Suppression: `// grapr:lint-allow(<rule>): <reason>` on the offending line
 or the line directly above. Suppressions require a non-empty reason and an
@@ -269,6 +274,77 @@ class FileLint:
         self.findings.append(
             Finding(self.path, line0 + 1, rule, message, warning))
 
+    # -- fault-site helper discovery -----------------------------------------
+
+    _CONTROL_KEYWORDS = {
+        "if", "for", "while", "switch", "catch", "return", "sizeof",
+        "alignof", "decltype", "defined", "assert", "static_assert",
+    }
+
+    def fault_helpers(self) -> dict[str, int]:
+        """Function name -> 1-based line of a GRAPR_FAULT_POINT/_INJECT
+        site lexically inside that function's body, for every function
+        *defined in this file*. Feeds the one-level-helper extension of
+        fault-point-in-parallel: a region that calls such a helper reaches
+        the site even though the site is not in the region's extent."""
+        flat = "\n".join(self._code)
+        line_starts = [0]
+        for ln in self._code:
+            line_starts.append(line_starts[-1] + len(ln) + 1)
+
+        def line_of(pos: int) -> int:
+            lo, hi = 0, len(line_starts) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if line_starts[mid] <= pos:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo + 1
+
+        helpers: dict[str, int] = {}
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", flat):
+            name = m.group(1)
+            if name in self._CONTROL_KEYWORDS:
+                continue
+            # Balance the parameter list, then require a function body
+            # (optionally after const/noexcept/override/trailing-return)
+            # so plain calls never register.
+            p = m.end() - 1
+            depth = 0
+            while p < len(flat):
+                if flat[p] == "(":
+                    depth += 1
+                elif flat[p] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                p += 1
+            if p >= len(flat):
+                continue
+            tail = re.match(
+                r"\s*(?:const\b|noexcept\b|override\b|final\b"
+                r"|->\s*[\w:<>,&*\s]+?)*\s*\{", flat[p + 1:p + 120])
+            if not tail:
+                continue
+            body_open = p + 1 + tail.end() - 1
+            depth = 0
+            q = body_open
+            while q < len(flat):
+                if flat[q] == "{":
+                    depth += 1
+                elif flat[q] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                q += 1
+            if q >= len(flat):
+                continue
+            site = FAULT_POINT.search(flat, body_open, q)
+            if site:
+                helpers.setdefault(name, line_of(site.start()))
+        return helpers
+
     # -- pragma and region discovery ----------------------------------------
 
     def pragmas(self) -> list[Pragma]:
@@ -365,6 +441,7 @@ class FileLint:
 
     def lint(self) -> None:
         self.prepare()
+        self._fault_helpers = self.fault_helpers()
         self.check_rng()
         self.check_annotation_format()
         regions = []
@@ -483,6 +560,16 @@ class FileLint:
                             "fault-injection site inside a parallel region: "
                             "triggers throw or kill and must fire on the "
                             "single-threaded commit path only")
+            for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code):
+                site = self._fault_helpers.get(m.group(1))
+                if site is not None and not (region.begin <= site
+                                             <= region.end):
+                    self.report(i, "fault-point-in-parallel",
+                                f"'{m.group(1)}(...)' called inside a "
+                                "parallel region reaches the fault-"
+                                f"injection site at line {site}: triggers "
+                                "throw or kill and must fire on the "
+                                "single-threaded commit path only")
             for m in CONTAINER_MUTATION.finditer(code):
                 recv = m.group("recv")
                 base = re.match(r"[A-Za-z_]\w*", recv).group(0)
