@@ -112,6 +112,7 @@ count movePhaseImpl(const GraphT& g, Partition& zeta, double gamma,
                 // old or the new value (stale reads tolerated by design).
                 // Each node is written by exactly one thread per round.
                 zeta.set(u, bestCommunity);
+                GRAPR_RACE_BENIGN_SITE("plm.move.zeta");
                 ++movedThisRound;
             }
         }
@@ -475,6 +476,7 @@ count movePhaseTunedImpl(const CsrGraph& g, Partition& zeta, double gamma,
             // reads tolerated, one writer per node per round (see
             // movePhaseImpl).
             zeta.set(u, bestCommunity);
+            GRAPR_RACE_BENIGN_SITE("plm.moveTuned.zeta");
             ++moved;
             if (active) {
                 // u's move changes every neighbor's Δmod landscape: seed
@@ -730,9 +732,14 @@ count movePhaseCachedMapsImpl(const GraphT& g, Partition& zeta, double gamma,
                 communityVolume[current] -= volU;
 #pragma omp atomic
                 communityVolume[bestCommunity] += volU;
-                // grapr:benign-race(zeta): non-atomic label publish; stale
-                // reads tolerated, one writer per node per round (see
-                // movePhaseImpl).
+                // No benign-race annotation here: unlike movePhaseImpl,
+                // this region never reads zeta at a neighbor index —
+                // labels come from the locked per-node cached maps — so
+                // the one-writer-per-node zeta.set is a disjoint write,
+                // not a tolerated race.
+                // grapr:lint-allow(benign-race): proven disjoint by
+                // grapr_analyze parallel-effects (no foreign zeta read in
+                // this region); the textual publish rule is a pre-screen.
                 zeta.set(u, bestCommunity);
                 // Propagate the move into every neighbor's cached map.
                 g.forNeighborsOf(u, [&](node v, edgeweight w) {

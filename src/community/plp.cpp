@@ -123,7 +123,12 @@ Partition Plp::runImpl(const GraphT& g) {
             if (g.degree(v) == 0) return;
             if (!frontier && config_.trackActiveNodes) {
                 if (!active[v]) return;
+                // grapr:benign-race(active): the deactivation below races
+                // with neighbor re-arms (`active[u] = 1`); losing the race
+                // only means one extra evaluation of a converged node next
+                // round — the sweep loop re-checks convergence anyway.
                 active[v] = 0;
+                GRAPR_RACE_BENIGN_SITE("plp.active.clear");
             }
             const node best = dominantLabel(v);
             if (best != label[v]) {
@@ -134,6 +139,7 @@ Partition Plp::runImpl(const GraphT& g) {
                 // per round; the shadow write below enforces that half.
                 GRAPR_RACE_WRITE(zeta.raceShadow(), v);
                 label[v] = best;
+                GRAPR_RACE_BENIGN_SITE("plp.sweep.label");
                 ++localUpdated;
                 if (frontier) {
                     std::vector<node>& slice = frontierSlices.local();
@@ -147,7 +153,12 @@ Partition Plp::runImpl(const GraphT& g) {
                     });
                 } else if (config_.trackActiveNodes) {
                     g.forNeighborsOf(v, [&](node u, edgeweight) {
+                        // grapr:benign-race(active): re-arm flag; byte
+                        // stores of the same value from several threads,
+                        // and a lost deactivation race is self-healing
+                        // (see above).
                         active[u] = 1;
+                        GRAPR_RACE_BENIGN_SITE("plp.active.rearm");
                     });
                 }
             }

@@ -191,6 +191,7 @@ void StreamingPlp::applyBatch(const CsrGraph& g,
                     // grapr:benign-race(zeta): non-atomic label publish,
                     // stale reads tolerated (see above).
                     zeta.set(u, bestLabel);
+                    GRAPR_RACE_BENIGN_SITE("stream.plpSeeded.zeta");
                     ++movedThisRound;
                     for (index e = lo; e < hi; ++e) {
                         const node v = neighbors[e];

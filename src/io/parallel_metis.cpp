@@ -255,6 +255,9 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
         const auto uc = static_cast<std::size_t>(c);
         for (std::size_t r = 0; r < chunks[uc].rowDegrees.size(); ++r) {
             const count row = firstRow[uc] + r;
+            // grapr:analyze-allow(shared-write-safety): row lies in chunk
+            // c's slice [firstRow[c], firstRow[c+1]) — the inner offset r
+            // is bounded by the slice width, which the lattice cannot see.
             if (row < header.n) degrees[row] = chunks[uc].rowDegrees[r];
         }
     }
@@ -292,8 +295,15 @@ CsrGraph parseMetisCsr(const char* data, std::size_t size,
                     scanMetisRow(p, lineEnd, data, header.n, header.weighted,
                                  options.strict, dummyDropped, chunk.error,
                                  [&](node v, double w) {
+                                     // grapr:analyze-allow(shared-write-safety):
+                                     // cursor starts at offsets[firstRow[c]]
+                                     // and stays inside chunk c's entry
+                                     // slice; the ternary initializer is
+                                     // beyond the derived-index rule.
                                      neighbors[cursor] = v;
                                      if (header.weighted) {
+                                         // grapr:analyze-allow(shared-write-safety):
+                                         // same chunk-slice cursor.
                                          weights[cursor] = w;
                                      }
                                      ++cursor;

@@ -47,6 +47,9 @@ count prefixSum(std::vector<count>& values) {
                 const count v = values[i];
                 // grapr:lint-allow(benign-race): block [lo, hi) belongs to
                 // exactly one loop iteration; no other thread touches it.
+                // grapr:analyze-allow(shared-write-safety): barrier-phased
+                // block ownership — i ranges over this iteration's [lo, hi)
+                // only, a slice the derived-index rule cannot express.
                 values[i] = local;
                 local += v;
             }
@@ -73,6 +76,8 @@ count prefixSum(std::vector<count>& values) {
             if (offset != 0) {
                 // grapr:lint-allow(compound-shared-write): block [lo, hi)
                 // is owned by this iteration — no concurrent writer.
+                // grapr:analyze-allow(shared-write-safety): same
+                // barrier-phased block ownership as the downsweep above.
                 for (std::size_t i = lo; i < hi; ++i) values[i] += offset;
             }
         }

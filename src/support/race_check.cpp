@@ -2,6 +2,7 @@
 
 #ifdef GRAPR_RACE_CHECK
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,6 +114,37 @@ void beginPhase(const char* name) {
 
 std::uint32_t currentEpoch() {
     return gEpoch.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+struct BenignTrace {
+    std::mutex mutex;
+    std::vector<std::string> names;
+};
+
+BenignTrace& benignTrace() {
+    static BenignTrace trace;
+    return trace;
+}
+
+} // namespace
+
+void noteBenignSite(const char* name) {
+    BenignTrace& trace = benignTrace();
+    std::lock_guard<std::mutex> lock(trace.mutex);
+    for (const std::string& have : trace.names) {
+        if (have == name) return;
+    }
+    trace.names.emplace_back(name);
+}
+
+std::vector<std::string> benignSitesExecuted() {
+    BenignTrace& trace = benignTrace();
+    std::lock_guard<std::mutex> lock(trace.mutex);
+    std::vector<std::string> out = trace.names;
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void ShadowCells::reset(std::size_t n) {

@@ -31,6 +31,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace grapr::race {
 
@@ -50,6 +52,16 @@ void beginPhase(const char* name);
 
 /// Current epoch (for tests).
 std::uint32_t currentEpoch();
+
+/// Record that the named benign-race write site executed. Called (once per
+/// site, via GRAPR_RACE_BENIGN_SITE's once-flag) from inside parallel
+/// regions, so it must be thread-safe.
+void noteBenignSite(const char* name);
+
+/// Sorted names of every benign-race site that executed so far. The
+/// manifest round-trip test (tests/benign_races.txt) diffs this against
+/// the runtime= lists after driving each algorithm.
+std::vector<std::string> benignSitesExecuted();
 
 /// Per-cell last-writer log. One record per cell of the shadowed array.
 /// Copying a ShadowCells produces a *fresh* shadow of the same size (the
@@ -101,10 +113,25 @@ private:
 
 #define GRAPR_RACE_PHASE(name) ::grapr::race::beginPhase(name)
 
+// Names a benign-race write site for the manifest round-trip
+// (tests/benign_races.txt runtime= lists). The once-flag keeps the hot
+// path to one relaxed load after the first execution; `name` must match a
+// runtime= token — grapr_analyze's benign-race-manifest check enforces the
+// correspondence both ways.
+#define GRAPR_RACE_BENIGN_SITE(name)                                         \
+    do {                                                                     \
+        static std::atomic<bool> graprBenignNoted_{false};                   \
+        if (!graprBenignNoted_.load(std::memory_order_relaxed) &&            \
+            !graprBenignNoted_.exchange(true, std::memory_order_relaxed)) {  \
+            ::grapr::race::noteBenignSite(name);                             \
+        }                                                                    \
+    } while (0)
+
 #else // !GRAPR_RACE_CHECK
 
 #define GRAPR_RACE_WRITE(shadow, cell) ((void)0)
 #define GRAPR_RACE_WRITE_BENIGN(shadow, cell) ((void)0)
 #define GRAPR_RACE_PHASE(name) ((void)0)
+#define GRAPR_RACE_BENIGN_SITE(name) ((void)0)
 
 #endif // GRAPR_RACE_CHECK

@@ -1,0 +1,22 @@
+// A fault-injection site reached from a parallel region through TWO
+// same-file call levels: region -> outerHelper -> innerHelper -> site.
+// grapr_lint's one-level rule cannot prove this an error, so it must emit
+// the advisory WARNING pointing at grapr_analyze instead of staying
+// silent (the ctest entry asserts the warning text; exit stays 0 because
+// the analyzer owns the authoritative verdict).
+#define GRAPR_FAULT_POINT(site) ((void)0)
+
+void innerHelper() {
+    GRAPR_FAULT_POINT("fixture.deep.site");
+}
+
+void outerHelper() {
+    innerHelper();
+}
+
+void deepChain(long long n) {
+#pragma omp parallel for default(none) shared(n)
+    for (long long i = 0; i < n; ++i) {
+        outerHelper();
+    }
+}

@@ -82,7 +82,7 @@ public:
                 // stays O(1) per op even on sparse states).
                 node u = static_cast<node>(
                     Random::integer(rng, static_cast<std::uint64_t>(bound)));
-                for (int attempt = 0; attempt < 8 && state.degree(u) == 0;
+                for (count attempt = 0; attempt < 8 && state.degree(u) == 0;
                      ++attempt) {
                     u = static_cast<node>(Random::integer(
                         rng, static_cast<std::uint64_t>(bound)));

@@ -463,8 +463,6 @@ TEST(GraphBuilder, ThreadCountRaisedAfterConstructionLosesNoEdges) {
 #pragma omp parallel for default(none) shared(builder, sedges)               \
     schedule(static)
     for (std::int64_t i = 0; i < sedges; ++i) {
-        // grapr:lint-allow(container-mutation): addEdge is the builder's
-        // thread-safe insertion API (per-thread buffers + locked overflow).
         builder.addEdge(static_cast<node>(i), static_cast<node>(i + 1));
     }
     EXPECT_EQ(builder.bufferedEdges(), edges);

@@ -14,16 +14,23 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
 
 #include <omp.h>
 
 #include "community/plm.hpp"
 #include "community/plp.hpp"
+#include "community/streaming_update.hpp"
 #include "generators/planted_partition.hpp"
 #include "generators/simple_graphs.hpp"
+#include "graph/stream_engine.hpp"
 #include "structures/partition.hpp"
 #include "support/race_check.hpp"
 #include "support/random.hpp"
+#include "support/stream_workload.hpp"
 
 #if defined(__linux__)
 #include <sys/wait.h>
@@ -54,6 +61,8 @@ int runRacyFixture() {
     {
         // Not a worksharing loop: every team member runs all iterations,
         // so cell 0 sees same-epoch writes from every thread id.
+        // grapr:analyze-allow(shared-write-safety): deliberately racy —
+        // this fixture exists to prove the shadow checker aborts on it.
         for (int i = 0; i < 100000; ++i) p.moveToSubset(0, 0);
     }
     return kFixtureSurvived;
@@ -207,6 +216,105 @@ TEST(RaceCheck, PhaseBoundarySeparatesRewrites) {
     }
     EXPECT_EQ(p.numberOfSubsets(), 1u);
 }
+
+#ifdef GRAPR_BENIGN_RACE_MANIFEST
+
+// Names of every runtime= token in tests/benign_races.txt. Row format:
+//   <dir/file>:<var> tsan=<list|-> runtime=<list|->
+// Comment and `infra` lines carry no runtime names.
+std::set<std::string> manifestRuntimeNames(const char* path) {
+    std::set<std::string> names;
+    std::ifstream in(path);
+    if (!in.is_open()) return names;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        const auto pos = line.find(" runtime=");
+        if (pos == std::string::npos) continue;
+        std::string list = line.substr(pos + 9);
+        const auto end = list.find_last_not_of(" \t\r");
+        list = end == std::string::npos ? std::string() : list.substr(0, end + 1);
+        if (list.empty() || list == "-") continue;
+        std::size_t start = 0;
+        while (start <= list.size()) {
+            const auto comma = list.find(',', start);
+            const std::string tok = list.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (!tok.empty()) names.insert(tok);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+        }
+    }
+    return names;
+}
+
+// The manifest round-trip: drive every algorithm whose benign writes are
+// named by a runtime= list, then diff the executed-site trace against the
+// manifest BOTH ways. grapr_analyze's benign-race-manifest check already
+// ties runtime= names to GRAPR_RACE_BENIGN_SITE call sites statically;
+// this test holds the manifest to what the code actually does.
+TEST(RaceCheck, BenignRaceManifestMatchesTrace) {
+    const std::set<std::string> manifest =
+        manifestRuntimeNames(GRAPR_BENIGN_RACE_MANIFEST);
+    ASSERT_FALSE(manifest.empty())
+        << "no runtime= names parsed from " << GRAPR_BENIGN_RACE_MANIFEST;
+
+    grapr::Random::setSeed(4243);
+    grapr::Graph g =
+        grapr::PlantedPartitionGenerator(600, 10, 0.3, 0.01).generate();
+    // Default PLP: trackActiveNodes on, frontier off — exercises the label
+    // publish and both active-flag sites.
+    (void)grapr::Plp().run(g);
+    // Default PLM freezes, so its rounds run the tuned kernel; the
+    // unfrozen config routes through the baseline movePhaseImpl.
+    (void)grapr::Plm().run(g);
+    grapr::PlmConfig unfrozen;
+    unfrozen.freeze = false;
+    (void)grapr::Plm(unfrozen).run(g);
+
+    // Streaming: the PLP-seeded sweep must MOVE a label, not just sweep.
+    // Two bridged 4-cliques converge to one label per clique; wiring node
+    // 4 to the rest of clique 0 gives it cross weight 4 vs 3 intra, so its
+    // dominant label provably flips when the batch reactivates it.
+    {
+        grapr::Random::setSeed(4244);
+        grapr::Graph sg = grapr::SimpleGraphs::cliqueChain(2, 4);
+        grapr::StreamingGraph engine(sg);
+        grapr::StreamingPlp incremental;
+        incremental.initialize(engine.pin()->graph);
+        grapr::EdgeBatch batch;
+        batch.insert(4, 0);
+        batch.insert(4, 1);
+        batch.insert(4, 2);
+        const grapr::BatchResult result =
+            engine.apply(batch, grapr::StreamApplyMode::Permissive);
+        ASSERT_FALSE(result.touched.empty());
+        incremental.applyBatch(engine.pin()->graph, result.touched);
+        ASSERT_GT(incremental.lastReactivated(), 0u);
+        ASSERT_EQ(incremental.labels().vector()[4],
+                  incremental.labels().vector()[0])
+            << "node 4 kept its clique-1 label — the seeded sweep moved "
+            << "nothing and never reached the benign publish site";
+    }
+
+    const std::vector<std::string> trace = grapr::race::benignSitesExecuted();
+    const std::set<std::string> executed(trace.begin(), trace.end());
+    for (const std::string& name : executed) {
+        EXPECT_TRUE(manifest.count(name) > 0)
+            << "benign write site '" << name << "' executed but no "
+            << "runtime= list in tests/benign_races.txt names it";
+    }
+    for (const std::string& name : manifest) {
+        EXPECT_TRUE(executed.count(name) > 0)
+            << "manifest runtime site '" << name << "' never executed — "
+            << "the harness no longer drives it, or the "
+            << "GRAPR_RACE_BENIGN_SITE instrumentation moved";
+    }
+}
+
+#endif // GRAPR_BENIGN_RACE_MANIFEST
 
 #endif // GRAPR_RACE_CHECK
 

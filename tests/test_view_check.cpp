@@ -59,6 +59,9 @@ int runStaleReadFixture() {
     const grapr::CsrGraph frozen(g);              // freeze site
     g.addEdge(0, 5);                              // mutation site
     double sink = 0.0;
+    // grapr:analyze-allow(csr-staleness): deliberately stale — this
+    // fixture exists to prove the runtime stamp aborts on exactly this
+    // read (the static check and the checker enforce the same contract).
     frozen.forNeighborsOf(0, [&](grapr::node, grapr::edgeweight w) {
         sink += w;                                // stale read — must abort
     });
@@ -93,6 +96,10 @@ int runLegalLifecycleFixture() {
         std::vector<grapr::edgeweight>(viewOfG.weightArray()),
         viewOfG.isWeighted());
     g.addEdge(2, 11);
+    // grapr:analyze-allow(csr-staleness): false positive — 'assembled' is
+    // built from copied arrays (no source graph; the stamp is
+    // disengaged), but the textual check ties it to 'g' through the
+    // viewOfG arguments in its constructor call.
     return assembled.numberOfEdges() == viewOfG.numberOfEdges()
                ? kFixtureSurvived
                : kFixtureUnknown;

@@ -33,14 +33,19 @@ import json
 import sys
 
 
-def load_metric(path, metric):
+def load_instances(path):
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    return {
-        inst["name"]: inst[metric]
-        for inst in data.get("instances", [])
-        if metric in inst
-    }
+    return {inst["name"]: inst for inst in data.get("instances", [])}
+
+
+def metric_keys(instances):
+    """Every numeric field any instance carries (the gateable metrics)."""
+    keys = set()
+    for inst in instances.values():
+        keys |= {k for k, v in inst.items()
+                 if k != "name" and isinstance(v, (int, float))}
+    return sorted(keys)
 
 
 def parse_metric_spec(spec, default_tolerance):
@@ -51,8 +56,25 @@ def parse_metric_spec(spec, default_tolerance):
 
 
 def check_metric(committed_path, fresh_path, metric, tolerance, verbose):
-    committed = load_metric(committed_path, metric)
-    fresh = load_metric(fresh_path, metric)
+    committed_inst = load_instances(committed_path)
+    fresh_inst = load_instances(fresh_path)
+    committed = {n: i[metric] for n, i in committed_inst.items()
+                 if metric in i}
+    fresh = {n: i[metric] for n, i in fresh_inst.items() if metric in i}
+
+    # A metric name no file carries is a misconfigured gate (typoed
+    # --metric or a renamed bench field), not a pass: fail loudly and say
+    # what IS gateable so the caller can fix the spec.
+    for path, have, insts in ((committed_path, committed, committed_inst),
+                              (fresh_path, fresh, fresh_inst)):
+        if insts and not have:
+            print(
+                f"check_perf_regression: metric '{metric}' does not exist "
+                f"in any instance of {path}; available metrics: "
+                f"{', '.join(metric_keys(insts)) or '(none)'}",
+                file=sys.stderr,
+            )
+            return True
 
     shared = sorted(set(committed) & set(fresh))
     if not shared:
@@ -65,6 +87,16 @@ def check_metric(committed_path, fresh_path, metric, tolerance, verbose):
         return True
 
     failed = False
+    # An instance both files measure, where the committed record has the
+    # metric but the fresh run stopped emitting it, must not silently
+    # shrink the comparison set.
+    for name in sorted(set(committed) & set(fresh_inst) - set(fresh)):
+        print(
+            f"{name}.{metric}: committed {committed[name]:.3g}, but the "
+            "fresh run no longer emits this metric -> REGRESSED",
+            file=sys.stderr,
+        )
+        failed = True
     for name in shared:
         floor = committed[name] * (1.0 - tolerance)
         regressed = fresh[name] < floor

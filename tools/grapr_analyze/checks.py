@@ -47,7 +47,10 @@ CHECK_IDS = {"csr-staleness", "index-width", "annotation-liveness",
              "suppression-liveness",
              # Durability-protocol checks (protocol.py).
              "durability-order", "lock-discipline", "poison-path",
-             "fault-site-coverage"}
+             "fault-site-coverage",
+             # Parallel-effects checks (effects.py).
+             "shared-write-safety", "benign-race-validity", "region-alloc",
+             "benign-race-manifest", "fault-point-in-parallel"}
 
 # Integer-valued types (any width): an edgeweight (double) flowing into
 # one of these silently truncates the fractional part.

@@ -19,7 +19,8 @@ import json
 import re
 from pathlib import Path
 
-from model import ExprInfo, FileModel, FunctionModel, Stmt
+from model import ExprInfo, FileModel, FunctionModel, Stmt, extract_omp
+from frontend_micro import blank
 
 try:
     from clang import cindex
@@ -111,6 +112,12 @@ class ClangFrontend:
                     model.functions.append(fn)
                     model.defined_symbols.add(fn.qualname)
                     model.defined_symbols.add(fn.name)
+        # OpenMP facts (region extents, clauses, atomic/critical/lock
+        # coverage) come from the same textual extractor the micro frontend
+        # uses — libclang's OpenMP cursor support varies by version, and the
+        # parallel-effects pass must classify identically under both
+        # frontends. blank() is pure line-level comment/string blanking.
+        model.regions, model.sync_lines = extract_omp(blank(lines))
         return model
 
     # ------------------------------------------------------------------

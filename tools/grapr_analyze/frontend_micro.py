@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from model import (ExprInfo, FileModel, FunctionModel, NARROW_INT_TYPES,
-                   FLOAT_NARROW_TYPES, Stmt)
+                   FLOAT_NARROW_TYPES, Stmt, extract_omp)
 
 CONTROL_KEYWORDS = {
     "if", "for", "while", "switch", "catch", "return", "else", "do",
@@ -300,6 +300,11 @@ class MicroFrontend:
             fn.has_omp = any("#pragma" in ln and "omp" in ln for ln in body)
             model.defined_symbols.add(fn.qualname)
             model.defined_symbols.add(fn.name)
+        # OpenMP facts come from the shared textual extractor: pragma lines
+        # are invisible to the statement segmenter above (preprocessor skip),
+        # so region extents, clauses and atomic/critical coverage would
+        # otherwise be lost here and disagree with the clang frontend.
+        model.regions, model.sync_lines = extract_omp(code)
         return model
 
     def _classify_header(self, header: str, line: int,

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """grapr_analyze: AST-grounded contract analyzer for the grapr codebase.
 
-Eight checks, driven by the exported compile_commands.json (see checks.py
-and protocol.py for rule details and the sanctioned escape hatches):
+Thirteen checks, driven by the exported compile_commands.json (see
+checks.py, protocol.py and effects.py for rule details and the sanctioned
+escape hatches):
 
   csr-staleness        frozen CsrGraph views read after their source Graph
                        mutated (intra-procedural, with call summaries for
@@ -25,6 +26,27 @@ and protocol.py for rule details and the sanctioned escape hatches):
                        the static site list matches tests/fault_sites.txt
                        (the crash harness pins its dynamic trace to the
                        same manifest)
+  shared-write-safety  every write inside an OpenMP region classifies as
+                       thread-local / synchronized / disjoint on the
+                       parallel-effect lattice, or carries a live
+                       grapr:benign-race(<var>) annotation (effects.py)
+  benign-race-validity a benign-race annotation on a write the analysis
+                       proves safe is stale and fails
+  region-alloc         no heap allocation / container growth inside
+                       parallel regions of src/community, src/coarsening,
+                       src/structures (ThreadLocalPool is the escape)
+  benign-race-manifest the validated benign-race set equals
+                       tests/benign_races.txt in both directions, tsan
+                       suppressions map to manifest rows, and runtime=
+                       names match the GRAPR_RACE_BENIGN_SITE trace
+                       points (test_race_check drives the dynamic half)
+  fault-point-in-parallel
+                       a GRAPR_FAULT_POINT reached from a parallel region
+                       at any call depth (the interprocedural authority
+                       behind grapr_lint's one-level textual rule)
+
+Use `--check parallel-effects` to run only the five effects.py checks
+(or pass a comma-separated list of check ids).
 
 Frontends (--frontend):
   clang   libclang via clang.cindex — canonical, used by the CI analyze
@@ -56,6 +78,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import checks                                    # noqa: E402
+import effects                                   # noqa: E402
 import frontend_clang                            # noqa: E402
 import protocol                                  # noqa: E402
 from frontend_micro import MicroFrontend, blank  # noqa: E402
@@ -136,6 +159,16 @@ def main() -> int:
                              "the GRAPR_FAULT_POINT sites found in the "
                              "sources (default: tests/fault_sites.txt at "
                              "the repo root; pass '' to disable)")
+    parser.add_argument("--benign-manifest", default=None,
+                        help="benign-race manifest to cross-check against "
+                             "the validated grapr:benign-race set "
+                             "(default: tests/benign_races.txt at the "
+                             "repo root; pass '' to disable)")
+    parser.add_argument("--check", default="all",
+                        help="restrict reported findings: 'all' (default),"
+                             " 'parallel-effects' (the five effects.py "
+                             "checks), or a comma-separated list of check "
+                             "ids")
     parser.add_argument("--exclude", action="append", default=[],
                         metavar="GLOB",
                         help="fnmatch pattern of file paths to skip "
@@ -199,19 +232,44 @@ def main() -> int:
         [(m, a) for m, _, a in pairs],
         fixture_mode=bool(args.files), manifest=manifest)
 
+    if args.benign_manifest is None:
+        benign_manifest = (Path(__file__).resolve().parent.parent.parent
+                           / "tests" / "benign_races.txt")
+    elif args.benign_manifest == "":
+        benign_manifest = None
+    else:
+        benign_manifest = Path(args.benign_manifest)
+    if args.tsan_supp is None:
+        supp = (Path(__file__).resolve().parent.parent
+                / "sanitizers" / "tsan.supp")
+    elif args.tsan_supp == "":
+        supp = None
+    else:
+        supp = Path(args.tsan_supp)
+    findings += effects.run_effects_checks(
+        pairs, fixture_mode=bool(args.files), manifest=benign_manifest,
+        tsan_supp=supp,
+        explicit_manifest=args.benign_manifest not in (None, ""))
+
     findings += checks.check_unused_allows(
         [(m, a) for m, _, a in pairs])
 
-    if not args.files:
-        if args.tsan_supp is None:
-            supp = (Path(__file__).resolve().parent.parent
-                    / "sanitizers" / "tsan.supp")
-        elif args.tsan_supp == "":
-            supp = None
+    if not args.files and supp is not None:
+        findings += checks.check_suppression_liveness(supp, models)
+
+    if args.check != "all":
+        if args.check == "parallel-effects":
+            selected = set(effects.EFFECT_CHECK_IDS)
         else:
-            supp = Path(args.tsan_supp)
-        if supp is not None:
-            findings += checks.check_suppression_liveness(supp, models)
+            selected = {c.strip() for c in args.check.split(",") if c.strip()}
+            unknown = selected - checks.CHECK_IDS
+            if unknown:
+                print("grapr-analyze: error: unknown check id(s): "
+                      f"{', '.join(sorted(unknown))} (known: "
+                      f"{', '.join(sorted(checks.CHECK_IDS))})",
+                      file=sys.stderr)
+                return 2
+        findings = [f for f in findings if f.check in selected]
 
     # One statement can surface the same defect through several lowered
     # facts (a call and its enclosing expression); report each site once.

@@ -213,6 +213,22 @@ class FunctionModel:
 
 
 @dataclass
+class OmpRegion:
+    """One `#pragma omp parallel` region: pragma text (continuations and
+    chained worksharing pragmas joined), structured-block extent, data-sharing
+    clauses, and the worksharing induction variables (combined parallel-for
+    header plus every inner `#pragma omp for` loop)."""
+    pragma_line: int          # 1-based line of the first pragma token
+    start: int                # first line of the structured block
+    end: int                  # last line of the structured block (inclusive)
+    text: str = ""            # full joined pragma text
+    induction: set[str] = field(default_factory=set)
+    shared: set[str] = field(default_factory=set)
+    privates: set[str] = field(default_factory=set)   # private/firstprivate/lastprivate
+    reductions: set[str] = field(default_factory=set)
+
+
+@dataclass
 class FileModel:
     path: Path
     functions: list[FunctionModel] = field(default_factory=list)
@@ -224,6 +240,14 @@ class FileModel:
     # Raw source lines (1-based access via lines[i-1]) for annotation checks.
     lines: list[str] = field(default_factory=list)
     frontend: str = ""        # "clang" or "micro"
+    # OpenMP facts, produced by extract_omp() over comment-blanked lines.
+    # Both frontends call the same extractor, so region extents and
+    # synchronization coverage are identical by construction.
+    regions: list[OmpRegion] = field(default_factory=list)
+    # line -> synchronization tags covering that line: "atomic" (update/
+    # capture/write), "atomic-read", "critical", "locked" (omp_set_lock span
+    # or RAII mutex guard scope).
+    sync_lines: dict[int, set[str]] = field(default_factory=dict)
 
 
 @dataclass
@@ -284,3 +308,216 @@ def build_summary(models: list[FileModel]) -> Summary:
                     summary.mutates.setdefault(fn.name, set()).update(mutated)
                     changed = True
     return summary
+
+
+# --------------------------------------------------------------------------
+# OpenMP fact extraction (shared by both frontends)
+# --------------------------------------------------------------------------
+#
+# Region extents, data-sharing clauses and synchronization coverage are
+# *textual* properties of the pragma lines and brace structure — libclang's
+# OpenMP AST support varies by version and the micro frontend has no AST at
+# all, so both frontends delegate to this one extractor over comment-blanked
+# lines. That makes the parallel-effects pass agree across frontends by
+# construction; the dual-frontend agreement test pins it.
+
+import re as _re
+
+_PRAGMA_OMP = _re.compile(r"^\s*#\s*pragma\s+omp\b(?P<rest>.*)$")
+_CLAUSE = _re.compile(r"\b(shared|private|firstprivate|lastprivate)\s*\(")
+_REDUCTION = _re.compile(r"\breduction\s*\(")
+_FOR_HEADER = _re.compile(
+    r"for\s*\(\s*(?:[A-Za-z_][\w:<>\s]*?[\s&*])?(?P<var>[A-Za-z_]\w*)\s*[=:]")
+_LOCK_SET = _re.compile(r"\bomp_set_lock\s*\(")
+_LOCK_UNSET = _re.compile(r"\bomp_unset_lock\s*\(")
+
+
+def _logical_pragmas(lines: list[str]) -> list[tuple[int, int, str]]:
+    """Join backslash continuations: (first_line0, last_line0, text) per
+    logical `#pragma omp` line."""
+    out = []
+    i = 0
+    while i < len(lines):
+        if _PRAGMA_OMP.match(lines[i]):
+            start = i
+            text = lines[i].rstrip()
+            while text.endswith("\\") and i + 1 < len(lines):
+                text = text[:-1].rstrip() + " " + lines[i + 1].strip()
+                i += 1
+            out.append((start, i, " ".join(text.split())))
+        i += 1
+    return out
+
+
+def _clause_vars(text: str) -> tuple[set[str], set[str], set[str]]:
+    """(shared, privates, reductions) variable sets from a pragma text."""
+    shared: set[str] = set()
+    privates: set[str] = set()
+    reductions: set[str] = set()
+
+    def args_at(m: _re.Match) -> str:
+        depth, j = 1, m.end()
+        while j < len(text) and depth:
+            depth += {"(": 1, ")": -1}.get(text[j], 0)
+            j += 1
+        return text[m.end():j - 1]
+
+    for m in _CLAUSE.finditer(text):
+        vars_ = {v.strip() for v in args_at(m).split(",") if v.strip()}
+        (shared if m.group(1) == "shared" else privates).update(vars_)
+    for m in _REDUCTION.finditer(text):
+        body = args_at(m)
+        # reduction(op : a, b) — vars after the last top-level colon.
+        vars_part = body.rsplit(":", 1)[-1]
+        reductions.update(v.strip() for v in vars_part.split(",") if v.strip())
+    return shared, privates, reductions
+
+
+def _block_extent(lines: list[str], i: int) -> tuple[int, int]:
+    """Structured-block extent (first_line0, last_line0) starting the scan at
+    line i: a brace block, a for/while/if statement (with its own block or
+    single statement), or a single `;`-terminated statement. Skips further
+    pragma lines (chained worksharing directives) first."""
+    n = len(lines)
+    while i < n and (_PRAGMA_OMP.match(lines[i]) or not lines[i].strip()):
+        if _PRAGMA_OMP.match(lines[i]):
+            while lines[i].rstrip().endswith("\\") and i + 1 < n:
+                i += 1
+        i += 1
+    if i >= n:
+        return i, i
+    start = i
+    # Find the first `{` before a bare `;` at depth 0: that brace opens the
+    # structured block (covers `for (...) {`, `if (...) {`, bare `{`).
+    depth = 0
+    j = i
+    opened_at = -1
+    while j < n:
+        for ch in lines[j]:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "{" and depth == 0:
+                opened_at = j
+                break
+            elif ch == ";" and depth == 0:
+                # Statement ends before any block opens. A for/while header
+                # contains its `;`s inside parens, so depth-0 `;` is the end
+                # of a single-statement body.
+                return start, j
+        if opened_at >= 0:
+            break
+        j += 1
+    if opened_at < 0:
+        return start, min(start, n - 1)
+    # Match braces from opened_at to the closing line.
+    depth = 0
+    seen = False
+    for k in range(opened_at, n):
+        for ch in lines[k]:
+            if ch == "{":
+                depth += 1
+                seen = True
+            elif ch == "}":
+                depth -= 1
+        if seen and depth <= 0:
+            return start, k
+    return start, n - 1
+
+
+def _guard_scope_end(lines: list[str], decl_line0: int) -> int:
+    """Last line (0-based) of the brace scope enclosing decl_line0: scan
+    forward until the running brace depth drops below its start value."""
+    depth = 0
+    for j in range(decl_line0, len(lines)):
+        for ch in lines[j]:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth < 0:
+                    return j
+    return len(lines) - 1
+
+
+def extract_omp(blanked: list[str]) -> tuple[list[OmpRegion], dict[int, set[str]]]:
+    """Extract OmpRegion records and per-line synchronization coverage from
+    comment-blanked source lines (1-based results)."""
+    regions: list[OmpRegion] = []
+    sync: dict[int, set[str]] = {}
+
+    def cover(first0: int, last0: int, tag: str) -> None:
+        for ln in range(first0 + 1, last0 + 2):
+            sync.setdefault(ln, set()).add(tag)
+
+    pragmas = _logical_pragmas(blanked)
+    for first0, last0, text in pragmas:
+        rest = _PRAGMA_OMP.match(text).group("rest")
+        words = rest.split()
+        if not words:
+            continue
+        if words[0] == "parallel":
+            shared, privates, reductions = _clause_vars(text)
+            bstart0, bend0 = _block_extent(blanked, last0 + 1)
+            region = OmpRegion(
+                pragma_line=first0 + 1, start=bstart0 + 1, end=bend0 + 1,
+                text=text, shared=shared, privates=privates,
+                reductions=reductions)
+            # Combined parallel-for: induction var from the loop header.
+            if "for" in words:
+                header = " ".join(blanked[bstart0:min(bstart0 + 3, len(blanked))])
+                m = _FOR_HEADER.search(header)
+                if m:
+                    region.induction.add(m.group("var"))
+            # Inner worksharing loops inside the region extent.
+            for f0, l0, t in pragmas:
+                if not (bstart0 <= f0 <= bend0):
+                    continue
+                inner = _PRAGMA_OMP.match(t).group("rest").split()
+                if inner and inner[0] == "for":
+                    _, ipriv, ired = _clause_vars(t)
+                    region.privates |= ipriv
+                    region.reductions |= ired
+                    istart0, _ = _block_extent(blanked, l0 + 1)
+                    header = " ".join(
+                        blanked[istart0:min(istart0 + 3, len(blanked))])
+                    m = _FOR_HEADER.search(header)
+                    if m:
+                        region.induction.add(m.group("var"))
+            regions.append(region)
+        elif words[0] == "atomic":
+            tag = "atomic-read" if "read" in words[1:2] else "atomic"
+            # Covers the next statement through its `;`.
+            j = last0 + 1
+            while j < len(blanked) and ";" not in blanked[j]:
+                j += 1
+            cover(last0 + 1, min(j, len(blanked) - 1), tag)
+        elif words[0] == "critical":
+            cstart0, cend0 = _block_extent(blanked, last0 + 1)
+            cover(cstart0, cend0, "critical")
+        elif words[0] in ("single", "master", "masked"):
+            # One thread executes the block; `single` is additionally
+            # bracketed by implicit barriers (no nowait in this codebase).
+            cstart0, cend0 = _block_extent(blanked, last0 + 1)
+            cover(cstart0, cend0, "single")
+
+    # omp_set_lock .. omp_unset_lock spans.
+    i = 0
+    while i < len(blanked):
+        if _LOCK_SET.search(blanked[i]):
+            j = i
+            while j < len(blanked) and not _LOCK_UNSET.search(blanked[j]):
+                j += 1
+            cover(i, min(j, len(blanked) - 1), "locked")
+            i = j
+        i += 1
+
+    # RAII mutex guards: declaration line through the end of its scope.
+    guard_re = _re.compile(
+        r"\b(?:std\s*::\s*)?(?:%s)\s*<" % "|".join(LOCK_GUARD_TYPES))
+    for i, line in enumerate(blanked):
+        if guard_re.search(line):
+            cover(i, _guard_scope_end(blanked, i), "locked")
+
+    return regions, sync

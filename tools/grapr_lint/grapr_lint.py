@@ -24,7 +24,12 @@ Rules (each has a stable id used by `grapr:lint-allow(<rule>)`):
                           declared inside the parallel region and not
                           accessed through a per-thread slot
                           (`[omp_get_thread_num()]`, `.local()`).
-  benign-race             Sites that read or publish shared state
+  benign-race             Fast-path PRE-SCREEN (the interprocedural
+                          authority is grapr_analyze's parallel-effects
+                          pass, which classifies every shared write on an
+                          effect lattice; a textual hit the analyzer
+                          disproves is suppressed with lint-allow citing
+                          it). Sites that read or publish shared state
                           non-atomically by design must be annotated:
                             * every `#pragma omp atomic read` (a stale
                               snapshot of a concurrently-updated value),
@@ -52,9 +57,12 @@ Rules (each has a stable id used by `grapr:lint-allow(<rule>)`):
                           region boundary and aborts). Also flagged: a call
                           inside the region to a helper function defined in
                           the same file whose body contains a site (one
-                          level deep — deeper chains remain a documented
-                          false-negative edge; the crash harness covers
-                          them dynamically).
+                          level deep). A same-file chain DEEPER than one
+                          level is reported as a warning pointing at
+                          grapr_analyze — its cross-TU fixed-point summary
+                          (fault-point-in-parallel) is the authority beyond
+                          this rule's textual horizon, so the lint points
+                          there instead of staying silent.
 
 Suppression: `// grapr:lint-allow(<rule>): <reason>` on the offending line
 or the line directly above. Suppressions require a non-empty reason and an
@@ -281,12 +289,16 @@ class FileLint:
         "alignof", "decltype", "defined", "assert", "static_assert",
     }
 
-    def fault_helpers(self) -> dict[str, int]:
-        """Function name -> 1-based line of a GRAPR_FAULT_POINT/_INJECT
-        site lexically inside that function's body, for every function
-        *defined in this file*. Feeds the one-level-helper extension of
-        fault-point-in-parallel: a region that calls such a helper reaches
-        the site even though the site is not in the region's extent."""
+    def fault_helpers(self) -> tuple[dict[str, int],
+                                     dict[str, tuple[str, int]]]:
+        """Two maps over functions *defined in this file*:
+          direct: name -> 1-based line of a GRAPR_FAULT_POINT/_INJECT site
+                  lexically inside that function's body (the one-level
+                  rule's error path), and
+          deep:   name -> (callee, site line) for functions that reach a
+                  site only through a same-file call chain of depth >= 2
+                  (the advisory path: grapr_analyze's cross-TU summary is
+                  authoritative there)."""
         flat = "\n".join(self._code)
         line_starts = [0]
         for ln in self._code:
@@ -303,6 +315,7 @@ class FileLint:
             return lo + 1
 
         helpers: dict[str, int] = {}
+        callees: dict[str, set[str]] = {}
         for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", flat):
             name = m.group(1)
             if name in self._CONTROL_KEYWORDS:
@@ -343,7 +356,32 @@ class FileLint:
             site = FAULT_POINT.search(flat, body_open, q)
             if site:
                 helpers.setdefault(name, line_of(site.start()))
-        return helpers
+            called = {c.group(1)
+                      for c in re.finditer(r"\b([A-Za-z_]\w*)\s*\(",
+                                           flat[body_open:q])
+                      if c.group(1) not in self._CONTROL_KEYWORDS
+                      and c.group(1) != name}
+            callees.setdefault(name, set()).update(called)
+        # Same-file transitive closure: functions that reach a site only
+        # through another defined function (depth >= 2 from a region that
+        # calls them).
+        deep: dict[str, tuple[str, int]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for name, called in callees.items():
+                if name in helpers or name in deep:
+                    continue
+                for c in sorted(called):
+                    if c in helpers:
+                        deep[name] = (c, helpers[c])
+                        changed = True
+                        break
+                    if c in deep:
+                        deep[name] = (c, deep[c][1])
+                        changed = True
+                        break
+        return helpers, deep
 
     # -- pragma and region discovery ----------------------------------------
 
@@ -441,7 +479,7 @@ class FileLint:
 
     def lint(self) -> None:
         self.prepare()
-        self._fault_helpers = self.fault_helpers()
+        self._fault_helpers, self._fault_deep = self.fault_helpers()
         self.check_rng()
         self.check_annotation_format()
         regions = []
@@ -561,15 +599,28 @@ class FileLint:
                             "triggers throw or kill and must fire on the "
                             "single-threaded commit path only")
             for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code):
-                site = self._fault_helpers.get(m.group(1))
+                name = m.group(1)
+                site = self._fault_helpers.get(name)
                 if site is not None and not (region.begin <= site
                                              <= region.end):
                     self.report(i, "fault-point-in-parallel",
-                                f"'{m.group(1)}(...)' called inside a "
+                                f"'{name}(...)' called inside a "
                                 "parallel region reaches the fault-"
                                 f"injection site at line {site}: triggers "
                                 "throw or kill and must fire on the "
                                 "single-threaded commit path only")
+                    continue
+                deep = self._fault_deep.get(name)
+                if deep is not None:
+                    via, dsite = deep
+                    self.report(i, "fault-point-in-parallel",
+                                f"'{name}(...)' called inside a parallel "
+                                "region reaches a fault-injection site "
+                                f"through '{via}' (line {dsite}) — beyond "
+                                "the one-level textual rule; run "
+                                "grapr_analyze (fault-point-in-parallel, "
+                                "cross-TU fixed point) for the "
+                                "authoritative verdict", warning=True)
             for m in CONTAINER_MUTATION.finditer(code):
                 recv = m.group("recv")
                 base = re.match(r"[A-Za-z_]\w*", recv).group(0)
@@ -590,7 +641,10 @@ class FileLint:
                                 f"'{recv}.{m.group('call')}(...)' publishes "
                                 "a label visible to concurrent readers; "
                                 "annotate with grapr:benign-race("
-                                f"{recv}): <reason>")
+                                f"{recv}): <reason> (pre-screen — if "
+                                "grapr_analyze parallel-effects proves the "
+                                "write disjoint, cite it in a lint-allow "
+                                "instead)")
             for m in COMPOUND_WRITE.finditer(code):
                 var = m.group("pre") or m.group("post") or m.group("asgn")
                 if var in shared:
